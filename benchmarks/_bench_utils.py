@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark modules."""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def write_result(name, text):
+    """Persist one reproduced table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / (name + ".txt")
+    path.write_text(text + "\n")
+    print("\n" + text)
+    return path
+
+
+def write_svg(name, svg_text):
+    """Persist one rendered SVG figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / (name + ".svg")
+    path.write_text(svg_text)
+    return path

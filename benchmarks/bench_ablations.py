@@ -1,0 +1,158 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not figures from the paper -- these quantify why the attack is built the
+way it is:
+
+  * double-probe vs single-probe classification of kernel slots,
+  * probing rounds vs accuracy/runtime trade-off,
+  * paging-structure caches on vs off (how much the PSC hides),
+  * noise-sigma sweep: when does the 14-cycle gap drown?
+"""
+
+import statistics
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import discriminability
+from repro.attacks.calibrate import calibrate_store_threshold
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.machine import Machine
+from repro.mmu.address import PAGE_SIZE_2M
+
+
+def run_double_vs_single():
+    """Double probing is what separates mapped from unmapped on Intel."""
+    machine = Machine.linux(seed=30)
+    core = machine.core
+    mapped = machine.kernel.base
+    unmapped = mapped - PAGE_SIZE_2M
+
+    def sample(va, second):
+        values = []
+        for _ in range(150):
+            core.evict_translation_caches()
+            first = core.timed_masked_load(va)
+            if second:
+                values.append(core.timed_masked_load(va))
+            else:
+                values.append(first)
+        return values
+
+    single = discriminability(sample(mapped, False), sample(unmapped, False))
+    double = discriminability(sample(mapped, True), sample(unmapped, True))
+    assert double > 4
+    assert double > single * 2
+    return format_table(
+        ["strategy", "mapped-vs-unmapped d'"],
+        [["single probe (first access)", round(single, 2)],
+         ["double probe (second access)", round(double, 2)]],
+        title="Ablation -- why the attack probes twice (i5-12400F)",
+    )
+
+
+def run_rounds_sweep():
+    """More rounds: monotone runtime, accuracy saturates early."""
+    rows = []
+    for rounds in (1, 2, 4, 8):
+        wins = 0
+        total_ms = []
+        for seed in range(10):
+            machine = Machine.linux(seed=31 + seed)
+            result = break_kaslr_intel(machine, rounds=rounds)
+            wins += result.base == machine.kernel.base
+            total_ms.append(result.probing_ms)
+        rows.append((rounds, round(statistics.mean(total_ms), 3),
+                     "{}/10".format(wins)))
+    assert rows[-1][2] == "10/10"
+    probing = [r[1] for r in rows]
+    assert probing == sorted(probing)
+    return format_table(
+        ["rounds", "probing ms", "correct"], rows,
+        title="Ablation -- probing rounds vs runtime/accuracy",
+    )
+
+
+def run_psc_ablation():
+    """Without PSCs every miss walks from the PML4: slower, same verdicts."""
+    rows = []
+    for use_psc in (True, False):
+        machine = Machine.linux(seed=42)
+        machine.core.walker.use_psc = use_psc
+        core = machine.core
+        unmapped = machine.kernel.base - PAGE_SIZE_2M
+        core.masked_load(unmapped)
+        values = [core.timed_masked_load(unmapped) for _ in range(200)]
+        rows.append((
+            "on" if use_psc else "off",
+            statistics.median(values) - machine.cpu.measurement_overhead,
+        ))
+    assert rows[1][1] > rows[0][1]  # PSC off -> longer walks
+    return format_table(
+        ["paging-structure caches", "unmapped probe median (cy)"], rows,
+        title="Ablation -- PSC contribution to the unmapped-probe latency",
+    )
+
+
+def run_noise_sweep():
+    """The attack survives realistic jitter; it drowns near gap/2 sigma."""
+    rows = []
+    for factor in (1.0, 2.0, 4.0, 8.0):
+        wins = 0
+        for seed in range(8):
+            machine = Machine.linux(seed=50 + seed, noise_factor=factor)
+            result = break_kaslr_intel(machine)
+            wins += result.base == machine.kernel.base
+        rows.append((factor, "{}/8".format(wins)))
+    assert rows[0][1] == "8/8"
+    return format_table(
+        ["noise sigma factor", "correct"], rows,
+        title="Ablation -- measurement noise vs attack success",
+    )
+
+
+def run_threshold_strategies():
+    """How good is the paper's store-identity threshold vs alternatives?"""
+    from repro.analysis.thresholds import compare_strategies
+
+    machine = Machine.linux(seed=60)
+    result = break_kaslr_intel(machine)
+    mapped = [result.timings[s] for s in result.mapped_slots]
+    unmapped = [
+        t for i, t in enumerate(result.timings)
+        if i not in set(result.mapped_slots)
+    ]
+    report = compare_strategies(mapped, unmapped, result.threshold)
+    rows = [
+        (name, round(threshold, 1), round(fn, 4), round(fp, 4))
+        for name, (threshold, fn, fp) in sorted(report.items())
+    ]
+    # the paper's identity threshold and Otsu both match the oracle
+    assert report["paper (store identity)"][1:] == (0.0, 0.0)
+    assert report["otsu"][1:] == (0.0, 0.0)
+    return format_table(
+        ["strategy", "threshold", "false-neg", "false-pos"], rows,
+        title="Ablation -- threshold-selection strategies on one scan",
+    )
+
+
+def test_ablation_double_vs_single(benchmark, record_result):
+    record_result("ablation_double_vs_single",
+                  once(benchmark, run_double_vs_single))
+
+
+def test_ablation_rounds_sweep(benchmark, record_result):
+    record_result("ablation_rounds_sweep", once(benchmark, run_rounds_sweep))
+
+
+def test_ablation_psc(benchmark, record_result):
+    record_result("ablation_psc", once(benchmark, run_psc_ablation))
+
+
+def test_ablation_noise_sweep(benchmark, record_result):
+    record_result("ablation_noise_sweep", once(benchmark, run_noise_sweep))
+
+
+def test_ablation_threshold_strategies(benchmark, record_result):
+    record_result("ablation_thresholds",
+                  once(benchmark, run_threshold_strategies))

@@ -1,0 +1,54 @@
+"""Extension: the AVX attack vs the prior-art baselines it displaces.
+
+The paper's introduction claims the AVX channel is "much more practical
+compared to known microarchitectural attacks" that depend on noise
+filtering (prefetch) or Intel TSX (DrK).  This bench makes the claim a
+table: on a modern Meltdown-resistant part, TSX is simply gone, and the
+prefetch baseline needs ~10x the probing for lower reliability.
+"""
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.attacks.baselines import compare_with_baselines
+from repro.machine import Machine
+
+TRIALS = 5
+
+
+def run_baselines():
+    rows = []
+    for cpu in ("i9-9900", "i5-12400F"):
+        report = compare_with_baselines(
+            lambda s, c=cpu: Machine.linux(cpu=c, seed=s), trials=TRIALS
+        )
+        for method, outcome in report.items():
+            rows.append((
+                cpu, method,
+                "yes" if outcome["available"] else "NO (no TSX)",
+                "{}/{}".format(outcome["wins"], outcome["trials"])
+                if outcome["available"] else "-",
+                round(outcome["probing_ms"], 3)
+                if outcome["probing_ms"] is not None else "-",
+            ))
+
+        avx = report["avx (this paper)"]
+        prefetch = report["prefetch (Gruss et al.)"]
+        assert avx["wins"] == TRIALS
+        assert prefetch["probing_ms"] > 5 * avx["probing_ms"]
+        assert prefetch["wins"] <= avx["wins"]
+        tsx = report["tsx / DrK (Jang et al.)"]
+        if cpu == "i9-9900":
+            assert tsx["available"] and tsx["wins"] == TRIALS
+        else:
+            assert not tsx["available"]
+
+    return format_table(
+        ["CPU", "attack", "available", "correct", "probing ms"], rows,
+        title="Extension -- the AVX break vs prior-art baselines "
+              "(n={} boots each)".format(TRIALS),
+    )
+
+
+def test_ext_baselines(benchmark, record_result):
+    record_result("ext_baselines", once(benchmark, run_baselines))

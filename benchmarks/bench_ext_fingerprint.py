@@ -1,0 +1,45 @@
+"""Extension: application fingerprinting (the paper's Section IV-E
+outlook -- "fingerprint applications or websites").
+
+A spy watches a vector of uniquely-sized sentinel modules and matches the
+observed per-module activity rates against application templates.
+"""
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.attacks.fingerprint import fingerprint_confusion
+from repro.machine import Machine
+
+APPS = ("video-call", "file-transfer", "music-player", "gaming", "idle")
+
+
+def run_fingerprint():
+    matrix = fingerprint_confusion(
+        lambda seed: Machine.linux(cpu="i7-1065G7", seed=seed),
+        APPS, trials=2, intervals=20, seed0=900,
+    )
+    rows = []
+    correct = 0
+    total = 0
+    for truth in APPS:
+        row = [truth]
+        for guess in APPS:
+            count = matrix[truth][guess]
+            row.append(count)
+            total += count
+            if guess == truth:
+                correct += count
+        rows.append(tuple(row))
+    accuracy = correct / total
+    assert accuracy >= 0.8
+    table = format_table(
+        ["truth \\ guess"] + list(APPS), rows,
+        title=("Extension -- application fingerprinting confusion matrix "
+               "(accuracy {:.0%})".format(accuracy)),
+    )
+    return table
+
+
+def test_ext_fingerprint(benchmark, record_result):
+    record_result("ext_fingerprint", once(benchmark, run_fingerprint))

@@ -1,0 +1,44 @@
+"""Extension: mitigation overheads (the paper's Section V-B future work:
+"We leave the detailed performance evaluation of these mitigations").
+"""
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.defenses.overhead import (
+    fgkaslr_overhead,
+    flare_overhead,
+    nop_mask_overhead,
+)
+
+
+def run_overheads():
+    nop = nop_mask_overhead(iterations=1000)
+    flare = flare_overhead()
+    fgkaslr = fgkaslr_overhead(touches=2000)
+
+    assert abs(nop.metrics["slowdown"] - 1.0) < 0.01
+    assert flare.metrics["extra_mib"] > 500
+    assert fgkaslr.metrics["walk_inflation"] > 10
+
+    rows = [
+        ("zero-mask NOP", "vector workload slowdown",
+         "{:.3f}x".format(nop.metrics["slowdown"]),
+         "fix touches only the zero-mask path"),
+        ("FLARE", "extra physical memory",
+         "{:.0f} MiB".format(flare.metrics["extra_mib"]),
+         "dummy frames behind the whole kernel window"),
+        ("FGKASLR", "kernel TLB walk inflation",
+         "{:.0f}x".format(fgkaslr.metrics["walk_inflation"]),
+         "4 KiB text pages vs 2 MiB ({:.3f} -> {:.3f} walks/touch)".format(
+             fgkaslr.metrics["walks_per_touch_2m"],
+             fgkaslr.metrics["walks_per_touch_4k"])),
+    ]
+    return format_table(
+        ["mitigation", "metric", "cost", "note"], rows,
+        title="Extension -- what the Section V mitigations cost",
+    )
+
+
+def test_ext_overhead(benchmark, record_result):
+    record_result("ext_overhead", once(benchmark, run_overheads))

@@ -1,0 +1,69 @@
+"""Figure 1: fault suppression of the AVX masked load/store.
+
+The paper's four quadrants on an adjacent mapped/unmapped page pair:
+
+  A) masked load,  one active element on the unmapped page  -> #PF
+  B) masked store, one active element on the unmapped page  -> #PF
+  C) masked load,  unmapped-page elements all masked out    -> no fault
+  D) masked store, unmapped-page elements all masked out    -> no fault
+
+plus the kernel-page variants (inaccessible rather than invalid).
+"""
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.cpu.avx import make_mask
+from repro.errors import PageFault
+from repro.machine import Machine
+from repro.mmu.address import PAGE_SIZE
+
+
+def _attempt(fn, *args, **kwargs):
+    try:
+        fn(*args, **kwargs)
+        return "no fault"
+    except PageFault:
+        return "#PF"
+
+
+def run_fig01():
+    machine = Machine.linux(cpu="i7-1065G7", seed=1)
+    core = machine.core
+    mapped = machine.playground.user_rw
+    # the playground guarantees the next page is unmapped
+    boundary_va = mapped + PAGE_SIZE - 16  # elements 0-3 mapped, 4-7 not
+
+    kernel = machine.kernel.base
+
+    rows = [
+        ("A", "load",  "cross-boundary, active on unmapped",
+         _attempt(core.masked_load, boundary_va, make_mask([7]))),
+        ("B", "store", "cross-boundary, active on unmapped",
+         _attempt(core.masked_store, boundary_va, make_mask([7]))),
+        ("C", "load",  "cross-boundary, unmapped lanes masked",
+         _attempt(core.masked_load, boundary_va, make_mask([0]))),
+        ("D", "store", "cross-boundary, unmapped lanes masked",
+         _attempt(core.masked_store, boundary_va, make_mask([0]))),
+        ("-", "load",  "kernel page, zero mask",
+         _attempt(core.masked_load, kernel)),
+        ("-", "store", "kernel page, zero mask",
+         _attempt(core.masked_store, kernel)),
+        ("-", "load",  "kernel page, active element",
+         _attempt(core.masked_load, kernel, make_mask([0]))),
+    ]
+    table = format_table(
+        ["case", "op", "scenario", "outcome"], rows,
+        title="Figure 1 -- AVX masked-op fault suppression (P1)",
+    )
+    outcomes = {case: outcome for case, __, scenario, outcome in rows}
+    assert rows[0][3] == "#PF" and rows[1][3] == "#PF"
+    assert rows[2][3] == "no fault" and rows[3][3] == "no fault"
+    assert rows[4][3] == "no fault" and rows[5][3] == "no fault"
+    assert rows[6][3] == "#PF"
+    return table
+
+
+def test_fig01_fault_suppression(benchmark, record_result):
+    table = once(benchmark, run_fig01)
+    record_result("fig01_fault_suppression", table)

@@ -1,0 +1,83 @@
+"""Figure 2: masked-load timing per page type + performance counters.
+
+Paper (Ice Lake i7-1065G7): USER-M ~13 cycles with no microcode assist;
+USER-U, KERNEL-M and KERNEL-U all assist; KERNEL-M is faster than
+KERNEL-U because its second access is a TLB hit while the unmapped page
+walks again (two completed walks across two executions).
+"""
+
+import statistics
+
+from _bench_utils import once, write_svg
+
+from repro.analysis.report import format_histogram, format_table
+from repro.machine import Machine
+from repro.mmu.address import PAGE_SIZE_2M
+
+SAMPLES = 400
+
+
+def _measure(machine, va, samples=SAMPLES):
+    """Warm once, then sample the steady-state measured distribution."""
+    core = machine.core
+    core.masked_load(va)
+    snap = core.perf.snapshot()
+    values = [core.timed_masked_load(va) for _ in range(samples)]
+    delta = core.perf.delta_since(snap)
+    return values, delta
+
+
+def run_fig02():
+    machine = Machine.linux(cpu="i7-1065G7", seed=2)
+    pages = {
+        "USER-M": machine.playground.user_rw,
+        "USER-U": machine.playground.unmapped,
+        "KERNEL-M": machine.kernel.base,
+        "KERNEL-U": machine.kernel.base - PAGE_SIZE_2M,
+    }
+    overhead = machine.cpu.measurement_overhead
+
+    from repro.analysis.svg import histogram as svg_histogram
+
+    rows = []
+    panels = []
+    stats = {}
+    for label, va in pages.items():
+        values, delta = _measure(machine, va)
+        write_svg(
+            "fig02_" + label.lower().replace("-", "_"),
+            svg_histogram(
+                [v - overhead for v in values],
+                title="Figure 2 -- {} masked-load latency".format(label),
+                x_label="cycles",
+            ),
+        )
+        latency = statistics.median(values) - overhead
+        assists = delta["ASSISTS.ANY"] / SAMPLES
+        walks = delta["DTLB_LOAD_MISSES.WALK_COMPLETED"] / SAMPLES
+        stats[label] = (latency, assists, walks)
+        rows.append((label, latency, round(assists, 2), round(walks, 2)))
+        panels.append(format_histogram(
+            [v - overhead for v in values], bins=16, width=40,
+            title="{} (median {} cycles)".format(label, latency),
+        ))
+
+    table = format_table(
+        ["page type", "median cycles", "ASSISTS.ANY/op", "WALKS/op"],
+        rows,
+        title="Figure 2 -- masked-load latency by page type (i7-1065G7)",
+    )
+
+    # the paper's claims
+    assert stats["USER-M"][0] == 13
+    assert stats["USER-M"][1] == 0                      # no assist
+    assert all(stats[k][1] >= 0.99 for k in
+               ("USER-U", "KERNEL-M", "KERNEL-U"))      # assist every op
+    assert stats["KERNEL-M"][0] < stats["KERNEL-U"][0]  # P2
+    assert stats["KERNEL-M"][2] == 0                    # TLB hits: no walks
+    assert stats["KERNEL-U"][2] >= 0.99                 # walks every op
+    return table + "\n\n" + "\n\n".join(panels)
+
+
+def test_fig02_page_types(benchmark, record_result):
+    record_result("fig02_page_types", once(benchmark, run_fig02))

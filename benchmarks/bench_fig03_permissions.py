@@ -1,0 +1,70 @@
+"""Figure 3: execution time by page permission, loads vs stores.
+
+Paper: the masked load splits pages into two classes ({r--, r-x, rw-} vs
+---); the masked store splits three ({r--, r-x} vs rw- vs ---), because
+only stores take the write-permission / A-D assists.
+"""
+
+import statistics
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import discriminability
+from repro.machine import Machine
+
+SAMPLES = 300
+
+
+def _sample(probe, va, n=SAMPLES):
+    return [probe(va) for _ in range(n)]
+
+
+def run_fig03():
+    machine = Machine.linux(cpu="i7-1065G7", seed=3)
+    core = machine.core
+    pg = machine.playground
+    pages = {
+        "r--": pg.user_ro,
+        "r-x": pg.user_rx,
+        "rw-": pg.user_rw,
+        "---": pg.user_none,
+    }
+    overhead = machine.cpu.measurement_overhead
+
+    # warm translations of the mapped pages
+    for va in (pg.user_ro, pg.user_rx, pg.user_rw):
+        core.masked_load(va)
+
+    loads, stores = {}, {}
+    for perms, va in pages.items():
+        loads[perms] = _sample(core.timed_masked_load, va)
+        stores[perms] = _sample(core.timed_masked_store, va)
+
+    rows = []
+    for perms in pages:
+        rows.append((
+            perms,
+            statistics.median(loads[perms]) - overhead,
+            statistics.median(stores[perms]) - overhead,
+        ))
+    table = format_table(
+        ["perms", "load median (cy)", "store median (cy)"], rows,
+        title="Figure 3 -- masked-op latency by page permission (i7-1065G7)",
+    )
+
+    # load: r--/r-x/rw- indistinguishable, --- separated
+    assert discriminability(loads["r--"], loads["r-x"]) < 1
+    assert discriminability(loads["r--"], loads["rw-"]) < 1
+    assert discriminability(loads["r--"], loads["---"]) > 3
+
+    # store: r--/r-x together; rw- and --- each separated from the rest
+    assert discriminability(stores["r--"], stores["r-x"]) < 1
+    assert discriminability(stores["r--"], stores["rw-"]) > 2
+    assert discriminability(stores["rw-"], stores["---"]) > 2
+    assert discriminability(stores["r--"], stores["---"]) > 2
+    return table
+
+
+def test_fig03_permissions(benchmark, record_result):
+    record_result("fig03_permissions", once(benchmark, run_fig03))

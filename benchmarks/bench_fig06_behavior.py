@@ -1,0 +1,81 @@
+"""Figure 6: user-behaviour detection via TLB states of kernel modules.
+
+Paper: a spy samples the masked-load time of the first 10 pages of the
+bluetooth and psmouse modules at 1 Hz for 100 s; execution times drop
+while the victim streams Bluetooth audio / moves the mouse.
+"""
+
+from _bench_utils import once, write_svg
+
+from repro.analysis.report import format_table
+from repro.attacks.behavior import BehaviorSpy, detection_metrics
+from repro.attacks.module_detect import detect_modules
+from repro.machine import Machine
+from repro.workloads import BluetoothStreaming, MouseActivity
+
+
+def _trace_panel(title, samples, workload):
+    lines = [title]
+    for sample in samples:
+        truth = workload.is_active(sample.t_seconds)
+        bar = "#" * max(1, int((sample.mean_cycles - 100) / 8))
+        lines.append("t={:>3.0f}s {:>4.0f}cy {:<28} {}{}".format(
+            sample.t_seconds, sample.mean_cycles, bar,
+            "ACTIVE" if sample.active else "idle  ",
+            " (truth: active)" if truth else "",
+        ))
+    return "\n".join(lines)
+
+
+def run_fig06():
+    machine = Machine.linux(cpu="i7-1065G7", seed=6)
+
+    # stage 1: find the modules by size (Section IV-C feeds IV-E)
+    detection = detect_modules(machine)
+    bt_base = detection.address_of("bluetooth")
+    mouse_base = detection.address_of("psmouse")
+    assert bt_base == machine.kernel.module_map["bluetooth"][0]
+    assert mouse_base == machine.kernel.module_map["psmouse"][0]
+
+    # stage 2: the two spies of Figure 6 (trimmed to 50 s for the bench)
+    panels = []
+    rows = []
+    traces = []
+    for label, base, workload in (
+        ("bluetooth", bt_base, BluetoothStreaming(start_s=10, end_s=30)),
+        ("psmouse", mouse_base, MouseActivity(bursts=((5, 12), (25, 35)))),
+    ):
+        spy = BehaviorSpy(machine, base)
+        samples = spy.run(workload, duration_s=50)
+        accuracy, precision, recall = detection_metrics(
+            samples, workload.is_active
+        )
+        assert accuracy >= 0.9 and recall >= 0.9
+        rows.append((label, hex(base), round(accuracy, 3),
+                     round(precision, 3), round(recall, 3)))
+        traces.append((label, samples, workload))
+        panels.append(_trace_panel(
+            "--- {} spy trace (fast = module active) ---".format(label),
+            samples[:25], workload,
+        ))
+
+    table = format_table(
+        ["module", "address", "accuracy", "precision", "recall"], rows,
+        title="Figure 6 -- user-behaviour inference via TLB state (P4)",
+    )
+
+    from repro.analysis.svg import line_series
+
+    for label, samples, workload in traces:
+        svg = line_series(
+            {label: [(s.t_seconds, s.mean_cycles) for s in samples]},
+            title="Figure 6 -- {} spy trace".format(label),
+            x_label="time (s)", y_label="mean probe cycles",
+            bands=workload.active_windows,
+        )
+        write_svg("fig06_behavior_" + label, svg)
+    return table + "\n\n" + "\n\n".join(panels)
+
+
+def test_fig06_behavior(benchmark, record_result):
+    record_result("fig06_behavior", once(benchmark, run_fig06))

@@ -1,0 +1,72 @@
+"""Section III-B P3: walk-termination depth is visible in the timing.
+
+The paper primes translation state to different paging levels and
+observes the masked-load latency grow with the number of paging-structure
+fetches the walk still needs -- "except for PT": 4 KiB translations are
+slower than huge pages even fully warm, because the PSCs never cache PT
+entries (and the walk is one level deeper).
+"""
+
+import statistics
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.machine import Machine
+from repro.mmu.address import split_indices
+
+SAMPLES = 300
+
+
+def _sample_with_psc_depth(machine, va, depth):
+    """Measure the probe with the PSC primed exactly to ``depth`` levels.
+
+    depth = 0 means a completely cold walk from the PML4; depth = 3 means
+    the PDE cache resumes the walk at the PT.
+    """
+    core = machine.core
+    walker = core.walker
+    indices = split_indices(va)
+    lookup = machine.kernel.kernel_space.page_table.lookup(va)
+    values = []
+    for _ in range(SAMPLES):
+        core.tlb.invalidate(va)
+        walker.psc.flush()
+        for level in range(depth):
+            walker.psc.fill(indices, level, lookup.nodes[level + 1][1])
+        values.append(core.timed_masked_load(va))
+    return statistics.median(values) - machine.cpu.measurement_overhead
+
+
+def run_sec3_walk_levels():
+    machine = Machine.linux(cpu="i9-9900", seed=8)
+    kernel = machine.kernel
+    va_4k = kernel.base + 0x2C0_0000           # terminates at PT
+    va_2m = kernel.base + (4 << 21)            # terminates at PD
+
+    # warm the paging-structure lines so only PSC depth varies
+    machine.core.masked_load(va_2m)
+    machine.core.masked_load(va_4k)
+
+    rows = [
+        ("PML4T (cold walk, 3 fetches)", _sample_with_psc_depth(machine, va_2m, 0)),
+        ("PDPT  (PML4E cached, 2 fetches)", _sample_with_psc_depth(machine, va_2m, 1)),
+        ("PDT   (PDPTE cached, 1 fetch)", _sample_with_psc_depth(machine, va_2m, 2)),
+        ("PT    (4 KiB page, PDE cached, 1 fetch)",
+         _sample_with_psc_depth(machine, va_4k, 3)),
+    ]
+    table = format_table(
+        ["walk resumes at", "median cycles"], rows,
+        title="P3 -- masked-load latency vs page-walk depth (i9-9900)",
+    )
+
+    pml4, pdpt, pdt, pt = (v for __, v in rows)
+    # linear increase from PDT up to PML4T (the paper's wording)
+    assert pdt < pdpt < pml4
+    # "except for PT": deeper despite equal fetch count
+    assert pt > pdt
+    return table
+
+
+def test_sec3_walk_levels(benchmark, record_result):
+    record_result("sec3_walk_levels", once(benchmark, run_sec3_walk_levels))

@@ -1,0 +1,47 @@
+"""Section IV-F: fine-grained ASLR break from inside an SGX enclave.
+
+Paper (i7-1065G7, SGX2): scanning the 28-bit user code region takes ~51 s
+with the masked load and ~44 s with the masked store; the code base and
+the library section layout are recovered.
+"""
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.attacks.sgx_break import break_aslr_from_enclave
+from repro.machine import Machine
+
+
+def run_sec4f():
+    machine = Machine.linux(cpu="i7-1065G7", seed=16)
+    machine.create_enclave()
+    result = break_aslr_from_enclave(machine)
+
+    assert result.code_base == machine.process.text_base
+    assert result.store_seconds < result.load_seconds  # 44 s < 51 s
+    assert 20 < result.load_seconds < 120              # paper: 51 s
+    assert 15 < result.store_seconds < 110             # paper: 44 s
+    libc_base = result.libraries.base_of("libc.so.6")
+    assert libc_base == machine.process.library_bases["libc.so.6"]
+
+    rows = [
+        ("code base", hex(result.code_base), "correct"),
+        ("masked-load pass", "{:.1f} s".format(result.load_seconds),
+         "paper: 51 s"),
+        ("masked-store pass", "{:.1f} s".format(result.store_seconds),
+         "paper: 44 s"),
+        ("libc.so.6", hex(libc_base), "correct"),
+        ("libraries identified", str(len(result.libraries.matches)),
+         "by section-size signatures"),
+        ("hidden pages found", str(len(result.libraries.extra_pages)),
+         "absent from /proc/PID/maps"),
+    ]
+    return format_table(
+        ["item", "value", "note"], rows,
+        title="Section IV-F -- in-enclave fine-grained ASLR break "
+              "(i7-1065G7, SGX2)",
+    )
+
+
+def test_sec4f_sgx(benchmark, record_result):
+    record_result("sec4f_sgx", once(benchmark, run_sec4f))

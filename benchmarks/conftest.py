@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered text is written to ``benchmarks/results/<name>.txt`` (and echoed
+to stdout) so the artifacts survive the pytest run; the pytest-benchmark
+fixture additionally records the host-side runtime of each experiment.
+"""
+
+import pytest
+
+from _bench_utils import write_result
+
+
+@pytest.fixture
+def record_result():
+    """Write one reproduced table/figure to the results directory."""
+    return write_result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Assemble REPORT.md from whatever artifacts this run produced."""
+    from _bench_utils import RESULTS_DIR
+    from repro.analysis.paper_report import build_report
+
+    if RESULTS_DIR.exists():
+        status = build_report(RESULTS_DIR)
+        print("\nREPORT: {} ({} artifacts, {} missing)".format(
+            status.path, len(status.included), len(status.missing)
+        ))

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Recover keystroke timing through the AVX TLB channel.
+
+The paper's Section IV-E outlook ("extended ... to monitor other events
+(e.g., keystroke)") realized: a 200 Hz spy on the input driver's pages
+detects each keystroke's kernel processing and recovers inter-keystroke
+intervals -- the raw material of keystroke-dynamics inference.
+"""
+
+from repro import KeystrokeSpy, Machine
+
+
+def main():
+    machine = Machine.linux(cpu="i7-1065G7", seed=23)
+    spy = KeystrokeSpy(machine)
+    print("spy target: first pages of the '{}' module @ {:#x}".format(
+        spy.module, spy.base))
+    print("sampling  : every 5 ms (evict -> sleep -> probe)\n")
+
+    # the victim types a 10-character word with human-ish cadence
+    cadence = [0.00, 0.14, 0.25, 0.33, 0.47, 0.58, 0.71, 0.78, 0.92, 1.04]
+    truth = [0.05 + t for t in cadence]
+    trace = spy.run(truth, duration_s=1.3, interval_s=0.005)
+
+    print("truth (s)    detected (s)  error (ms)")
+    for t, d in trace.matched(tolerance=0.006):
+        print("{:>8.3f}    {:>9.3f}     {:>6.1f}".format(
+            t, d, abs(d - t) * 1e3))
+    print()
+    print("recall            : {:.0%}".format(trace.recall(0.006)))
+    print("false detections  : {}".format(
+        len(trace.false_detections(0.006))))
+    intervals = trace.inter_key_intervals()
+    print("recovered inter-keystroke intervals (ms):")
+    print("  " + ", ".join("{:.0f}".format(i * 1e3) for i in intervals))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Run the paper's proof-of-concept, written in actual (subset) assembly.
+
+The attack's measurement kernel -- zero-mask VPMASKMOV probes bracketed
+by fenced RDTSC pairs -- is assembled from x86 text and executed on the
+simulated core, instruction by instruction.  The same KASLR scan that
+`repro.attacks` performs through the library API is also expressed as a
+single assembly loop.
+"""
+
+from repro import Machine
+from repro.isa import DOUBLE_PROBE_POC
+from repro.isa.programs import run_double_probe_poc, run_kaslr_scan_poc
+from repro.os.linux import layout
+
+
+def main():
+    machine = Machine.linux(seed=99)
+    base = machine.kernel.base
+
+    print("PoC source (double probe):")
+    for line in DOUBLE_PROBE_POC.strip().splitlines():
+        print("   ", line)
+    print()
+
+    mapped = run_double_probe_poc(machine, base)
+    unmapped = run_double_probe_poc(machine, base - 0x200000)
+    print("probe at kernel base       : {} cycles".format(mapped))
+    print("probe one slot below       : {} cycles".format(unmapped))
+    print("mapped pages probe faster  : {}".format(mapped < unmapped))
+    print()
+
+    print("running the full 512-slot scan loop in assembly...")
+    best_slot, best_time = run_kaslr_scan_poc(
+        machine, layout.KERNEL_TEXT_START, layout.KERNEL_TEXT_SLOTS
+    )
+    recovered = layout.kernel_base_of_slot(best_slot)
+    print("fastest slot               : {} ({} cycles)".format(
+        best_slot, best_time))
+    print("recovered kernel base      : {:#x}".format(recovered))
+    print("ground truth               : {:#x}".format(base))
+    print("correct                    : {}".format(recovered == base))
+
+
+if __name__ == "__main__":
+    main()

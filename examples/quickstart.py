@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: break KASLR with the AVX timing side channel.
+
+Boots a simulated Ubuntu box on an Intel i5-12400F (Alder Lake), then runs
+the paper's Section IV-B attack: calibrate a threshold from the attacker's
+own pages, double-probe the 512 candidate kernel slots with zero-mask AVX
+loads, and read the kernel base off the timing trace.
+"""
+
+from repro import Machine, break_kaslr, detect_modules
+
+
+def main():
+    machine = Machine.linux(cpu="i5-12400F", seed=2026)
+    print("booted:", machine.cpu.name)
+    print("  KASLR: on, KPTI:", machine.kernel.kpti)
+    print("  (ground truth base: {:#x} -- the attacker can't see this)"
+          .format(machine.kernel.base))
+    print()
+
+    result = break_kaslr(machine)
+    print("[1] kernel base derandomization")
+    print("    recovered base : {:#x}".format(result.base))
+    print("    correct        :", result.base == machine.kernel.base)
+    print("    probing time   : {:.3f} ms (paper: 0.067 ms)"
+          .format(result.probing_ms))
+    print("    total time     : {:.3f} ms (paper: 0.28 ms)"
+          .format(result.total_ms))
+    print()
+
+    modules = detect_modules(machine)
+    print("[2] kernel module detection")
+    print("    regions found  :", len(modules.regions))
+    print("    identified     : {} uniquely sized modules"
+          .format(len(modules.identified)))
+    for name in ("video", "mac_hid", "pinctrl_icelake"):
+        print("      {:<18} @ {:#x}".format(name, modules.address_of(name)))
+    print("    probing time   : {:.2f} ms (paper: 2.43 ms)"
+          .format(modules.probing_ms))
+
+
+if __name__ == "__main__":
+    main()

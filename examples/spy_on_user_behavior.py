@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Infer user behaviour from kernel-module TLB state (paper Section IV-E).
+
+A spy process first locates the bluetooth and psmouse modules by their
+unique sizes (Section IV-C), then samples their TLB state once a second:
+whenever the victim streams Bluetooth audio or moves the mouse, the
+modules' translations are warm and the masked-load probe comes back fast.
+"""
+
+from repro import BehaviorSpy, Machine, detect_modules
+from repro.attacks.behavior import detection_metrics
+from repro.workloads import BluetoothStreaming, MouseActivity
+
+
+def trace(label, samples, workload):
+    print("--- {} ---".format(label))
+    print("  t(s)  cycles  verdict   truth")
+    for sample in samples:
+        truth = workload.is_active(sample.t_seconds)
+        print("  {:>4.0f}  {:>6.0f}  {:<8}  {}".format(
+            sample.t_seconds, sample.mean_cycles,
+            "ACTIVE" if sample.active else "idle",
+            "active" if truth else "-",
+        ))
+    accuracy, precision, recall = detection_metrics(
+        samples, workload.is_active
+    )
+    print("  accuracy {:.0%}  precision {:.0%}  recall {:.0%}".format(
+        accuracy, precision, recall
+    ))
+    print()
+
+
+def main():
+    machine = Machine.linux(cpu="i7-1065G7", seed=7)
+
+    print("stage 1: locate target modules by size...")
+    detection = detect_modules(machine)
+    bluetooth = detection.address_of("bluetooth")
+    psmouse = detection.address_of("psmouse")
+    print("  bluetooth @ {:#x}, psmouse @ {:#x}\n".format(bluetooth, psmouse))
+
+    print("stage 2: 1 Hz TLB spy (30 s per target)\n")
+    victim_bt = BluetoothStreaming(start_s=8, end_s=20)
+    spy = BehaviorSpy(machine, bluetooth)
+    trace("bluetooth audio streaming", spy.run(victim_bt, duration_s=30),
+          victim_bt)
+
+    victim_mouse = MouseActivity(bursts=((5, 10), (18, 24)))
+    spy = BehaviorSpy(machine, psmouse)
+    trace("mouse movements", spy.run(victim_mouse, duration_s=30),
+          victim_mouse)
+
+
+if __name__ == "__main__":
+    main()

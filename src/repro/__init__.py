@@ -1,0 +1,81 @@
+"""repro -- AVX timing side-channel attacks against ASLR, reproduced.
+
+A cycle-accounting simulation of the micro-architectural state behind
+"AVX Timing Side-Channel Attacks against Address Space Layout
+Randomization" (Choi, Kim, Shin -- DAC 2023), plus the paper's complete
+attack and defense suite running on top of it.
+
+Quickstart::
+
+    from repro import Machine, break_kaslr
+
+    machine = Machine.linux(cpu="i5-12400F", seed=1)
+    result = break_kaslr(machine)
+    assert result.base == machine.kernel.base
+    print(hex(result.base), result.total_ms, "ms")
+"""
+
+from repro.attacks.behavior import BehaviorSpy
+from repro.attacks.calibrate import calibrate_store_threshold
+from repro.attacks.cloud_break import audit_cloud
+from repro.attacks.kaslr_break import (
+    break_kaslr,
+    break_kaslr_amd,
+    break_kaslr_intel,
+)
+from repro.attacks.kpti_break import break_kaslr_kpti
+from repro.attacks.module_detect import detect_modules
+from repro.attacks.primitives import (
+    PageTableAttack,
+    PermissionAttack,
+    TLBAttack,
+)
+from repro.attacks.fingerprint import ApplicationFingerprinter
+from repro.attacks.keystrokes import KeystrokeSpy
+from repro.attacks.sgx_break import break_aslr_from_enclave
+from repro.attacks.userspace import (
+    find_user_code_base,
+    identify_libraries,
+    scan_rw_pages,
+)
+from repro.attacks.windows_break import find_entry_point
+from repro.scenarios import run_scenario, run_suite
+from repro.attacks.windows_break import find_kernel_region, find_kvas_region
+from repro.cpu.models import CPU_CATALOG, get_cpu_model
+from repro.errors import AttackError, ConfigError, PageFault, ReproError
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationFingerprinter",
+    "KeystrokeSpy",
+    "find_entry_point",
+    "run_scenario",
+    "run_suite",
+    "scan_rw_pages",
+    "AttackError",
+    "BehaviorSpy",
+    "CPU_CATALOG",
+    "ConfigError",
+    "Machine",
+    "PageFault",
+    "PageTableAttack",
+    "PermissionAttack",
+    "ReproError",
+    "TLBAttack",
+    "audit_cloud",
+    "break_aslr_from_enclave",
+    "break_kaslr",
+    "break_kaslr_amd",
+    "break_kaslr_intel",
+    "break_kaslr_kpti",
+    "calibrate_store_threshold",
+    "detect_modules",
+    "find_kernel_region",
+    "find_kvas_region",
+    "find_user_code_base",
+    "get_cpu_model",
+    "identify_libraries",
+    "__version__",
+]

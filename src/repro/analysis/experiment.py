@@ -1,0 +1,66 @@
+"""Repeat-trial harness behind Table I's runtime and accuracy columns.
+
+The paper reports averages over n = 10000 boots; each trial here builds a
+fresh machine (new KASLR draw, new noise stream) from a distinct seed and
+runs the attack under test.
+"""
+
+
+class TrialOutcome:
+    """One trial's verdict and runtimes."""
+
+    __slots__ = ("seed", "correct", "probing_ms", "total_ms")
+
+    def __init__(self, seed, correct, probing_ms, total_ms):
+        self.seed = seed
+        self.correct = correct
+        self.probing_ms = probing_ms
+        self.total_ms = total_ms
+
+
+class AccuracyExperiment:
+    """Run ``attack(machine) -> (correct, probing_ms, total_ms)`` n times."""
+
+    def __init__(self, machine_factory, attack):
+        """``machine_factory(seed)`` builds one victim machine."""
+        self.machine_factory = machine_factory
+        self.attack = attack
+        self.outcomes = []
+
+    def run(self, trials, seed0=0):
+        """Execute ``trials`` independent trials; returns self."""
+        for i in range(trials):
+            seed = seed0 + i
+            machine = self.machine_factory(seed)
+            correct, probing_ms, total_ms = self.attack(machine)
+            self.outcomes.append(
+                TrialOutcome(seed, correct, probing_ms, total_ms)
+            )
+        return self
+
+    @property
+    def accuracy(self):
+        if not self.outcomes:
+            return 0.0
+        if isinstance(self.outcomes[0].correct, bool):
+            wins = sum(1 for o in self.outcomes if o.correct)
+            return wins / len(self.outcomes)
+        # fractional correctness (per-module accuracy)
+        return sum(o.correct for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_probing_ms(self):
+        return sum(o.probing_ms for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_total_ms(self):
+        return sum(o.total_ms for o in self.outcomes) / len(self.outcomes)
+
+    def report_row(self, label):
+        """One Table I row: label, probing, total, accuracy."""
+        return (
+            label,
+            self.mean_probing_ms,
+            self.mean_total_ms,
+            self.accuracy,
+        )

@@ -1,0 +1,73 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Benchmarks print through these helpers so their output lines up with the
+rows/series the paper reports.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an ASCII table; numeric cells are right-aligned."""
+    def cell(value):
+        if isinstance(value, float):
+            return "{:.4g}".format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(values, bins=24, width=50, title=None):
+    """ASCII histogram of a timing sample (one figure panel)."""
+    if not values:
+        return "(empty sample)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        index = min(bins - 1, int((v - lo) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(
+            "{:8.1f} | {:<{w}} {}".format(lo + i * step, bar, count, w=width)
+        )
+    return "\n".join(lines)
+
+
+def format_series(points, label_x="x", label_y="y", width=60, title=None):
+    """ASCII line-ish plot of (x, y) points (for Figure 4/6 style output)."""
+    if not points:
+        return "(no points)"
+    ys = [y for __, y in points]
+    lo, hi = min(ys), max(ys)
+    if hi == lo:
+        hi = lo + 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("{:>12} {}".format(label_x, label_y))
+    for x, y in points:
+        pos = int((y - lo) / (hi - lo) * (width - 1))
+        lines.append(
+            "{:>12} |{}* {:.1f}".format(x, " " * pos, y)
+        )
+    return "\n".join(lines)

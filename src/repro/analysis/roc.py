@@ -1,0 +1,67 @@
+"""ROC analysis of the mapped/unmapped timing classifier.
+
+The paper picks one threshold; a defender (or a careful attacker)
+characterizes the whole operating curve.  Given labelled probe samples,
+:func:`roc_curve` sweeps every achievable threshold and yields
+(false-positive-rate, true-positive-rate) points; :func:`auc` integrates
+them.  An AUC of 1.0 means some threshold separates the classes
+perfectly -- which is what the calibrated simulator produces at default
+noise, and what stops being true as noise or timer coarsening grows.
+
+Convention: the *positive* class is "mapped" and a sample is classified
+positive when its timing is <= the threshold (mapped probes are fast).
+"""
+
+
+class RocPoint:
+    """One operating point of the classifier."""
+
+    __slots__ = ("threshold", "tpr", "fpr")
+
+    def __init__(self, threshold, tpr, fpr):
+        self.threshold = threshold
+        self.tpr = tpr
+        self.fpr = fpr
+
+    def __repr__(self):
+        return "RocPoint(thr={}, tpr={:.3f}, fpr={:.3f})".format(
+            self.threshold, self.tpr, self.fpr
+        )
+
+
+def roc_curve(mapped_samples, unmapped_samples):
+    """All achievable (fpr, tpr) operating points, threshold-sorted.
+
+    Includes the degenerate endpoints (0,0) and (1,1).
+    """
+    if not mapped_samples or not unmapped_samples:
+        raise ValueError("both classes need samples")
+    thresholds = sorted(set(mapped_samples) | set(unmapped_samples))
+    n_pos = len(mapped_samples)
+    n_neg = len(unmapped_samples)
+    points = [RocPoint(float("-inf"), 0.0, 0.0)]
+    for threshold in thresholds:
+        tpr = sum(1 for v in mapped_samples if v <= threshold) / n_pos
+        fpr = sum(1 for v in unmapped_samples if v <= threshold) / n_neg
+        points.append(RocPoint(threshold, tpr, fpr))
+    return points
+
+
+def auc(points):
+    """Trapezoidal area under a :func:`roc_curve` result."""
+    ordered = sorted(points, key=lambda p: (p.fpr, p.tpr))
+    area = 0.0
+    for a, b in zip(ordered, ordered[1:]):
+        area += (b.fpr - a.fpr) * (a.tpr + b.tpr) / 2.0
+    return area
+
+
+def youden_threshold(points):
+    """The threshold maximizing TPR - FPR (Youden's J statistic)."""
+    best = max(points, key=lambda p: p.tpr - p.fpr)
+    return best.threshold, best.tpr - best.fpr
+
+
+def classifier_auc(mapped_samples, unmapped_samples):
+    """Shorthand: AUC straight from labelled samples."""
+    return auc(roc_curve(mapped_samples, unmapped_samples))

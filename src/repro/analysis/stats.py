@@ -1,0 +1,72 @@
+"""Timing-distribution statistics used across experiments and benches."""
+
+import math
+
+
+class TimingSummary:
+    """Five-number-ish summary of a timing sample."""
+
+    __slots__ = ("n", "mean", "std", "median", "p5", "p95", "minimum",
+                 "maximum")
+
+    def __init__(self, values):
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(values)
+        self.n = len(ordered)
+        self.mean = sum(ordered) / self.n
+        var = sum((v - self.mean) ** 2 for v in ordered) / max(1, self.n - 1)
+        self.std = math.sqrt(var)
+        self.median = ordered[self.n // 2]
+        self.p5 = ordered[int(0.05 * (self.n - 1))]
+        self.p95 = ordered[int(0.95 * (self.n - 1))]
+        self.minimum = ordered[0]
+        self.maximum = ordered[-1]
+
+    def __repr__(self):
+        return "TimingSummary(n={}, mean={:.1f}, std={:.1f})".format(
+            self.n, self.mean, self.std
+        )
+
+
+def summarize(values):
+    """Shorthand constructor."""
+    return TimingSummary(values)
+
+
+def _trim_top(values, fraction):
+    """Drop the top ``fraction`` of a sample (interrupt-spike rejection)."""
+    ordered = sorted(values)
+    keep = max(1, int(len(ordered) * (1.0 - fraction)))
+    return ordered[:keep]
+
+
+def discriminability(sample_a, sample_b, trim=0.02):
+    """Robust d-prime separation between two timing distributions.
+
+    |mean difference| over the pooled standard deviation, computed after
+    dropping the top ``trim`` fraction of each sample -- RDTSC traces
+    always carry rare interrupt outliers that would otherwise swamp the
+    variance.  Values above ~2 mean a single measurement separates the
+    classes reliably.
+    """
+    a = TimingSummary(_trim_top(sample_a, trim))
+    b = TimingSummary(_trim_top(sample_b, trim))
+    pooled = math.sqrt((a.std ** 2 + b.std ** 2) / 2)
+    if pooled == 0:
+        return float("inf") if a.mean != b.mean else 0.0
+    return abs(a.mean - b.mean) / pooled
+
+
+def threshold_quality(threshold, mapped_sample, unmapped_sample):
+    """Error rates a fixed threshold yields on labelled samples.
+
+    Returns (false_negative_rate, false_positive_rate): mapped probes
+    classified unmapped, and vice versa.
+    """
+    fn = sum(1 for v in mapped_sample if v > threshold)
+    fp = sum(1 for v in unmapped_sample if v <= threshold)
+    return (
+        fn / len(mapped_sample) if mapped_sample else 0.0,
+        fp / len(unmapped_sample) if unmapped_sample else 0.0,
+    )

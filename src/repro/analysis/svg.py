@@ -1,0 +1,204 @@
+"""Minimal SVG chart rendering (no dependencies).
+
+The benches' primary artifacts are text tables, but the paper's figures
+are plots; this module renders the three shapes they need -- scatter
+(Figure 4's probe trace), step/line series (Figure 6's spy traces) and
+histograms (Figure 2's distributions) -- as standalone SVG strings.
+"""
+
+from xml.sax.saxutils import escape
+
+MARGIN = 46
+WIDTH = 640
+HEIGHT = 360
+
+_AXIS_STYLE = 'stroke="#444" stroke-width="1"'
+_GRID_STYLE = 'stroke="#ddd" stroke-width="0.5"'
+_TEXT = '<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" ' \
+        'font-family="sans-serif" fill="#222"{extra}>{text}</text>'
+
+
+class Axes:
+    """Maps data coordinates onto the SVG canvas."""
+
+    def __init__(self, x_range, y_range, width=WIDTH, height=HEIGHT):
+        self.x_lo, self.x_hi = x_range
+        self.y_lo, self.y_hi = y_range
+        if self.x_hi == self.x_lo:
+            self.x_hi = self.x_lo + 1
+        if self.y_hi == self.y_lo:
+            self.y_hi = self.y_lo + 1
+        self.width = width
+        self.height = height
+
+    def x(self, value):
+        span = self.x_hi - self.x_lo
+        return MARGIN + (value - self.x_lo) / span * (self.width - 2 * MARGIN)
+
+    def y(self, value):
+        span = self.y_hi - self.y_lo
+        return (self.height - MARGIN) - (value - self.y_lo) / span * (
+            self.height - 2 * MARGIN
+        )
+
+    def frame(self, title, x_label, y_label):
+        parts = []
+        parts.append(
+            '<rect x="{0}" y="{0}" width="{1}" height="{2}" fill="none" '
+            "{3}/>".format(
+                MARGIN, self.width - 2 * MARGIN, self.height - 2 * MARGIN,
+                _AXIS_STYLE,
+            )
+        )
+        parts.append(_TEXT.format(
+            x=self.width / 2, y=MARGIN - 16, size=14, text=escape(title),
+            extra=' text-anchor="middle" font-weight="bold"',
+        ))
+        parts.append(_TEXT.format(
+            x=self.width / 2, y=self.height - 8, size=11,
+            text=escape(x_label), extra=' text-anchor="middle"',
+        ))
+        parts.append(
+            '<text x="14" y="{:.1f}" font-size="11" font-family="sans-serif"'
+            ' fill="#222" text-anchor="middle" transform="rotate(-90 14 '
+            '{:.1f})">{}</text>'.format(
+                self.height / 2, self.height / 2, escape(y_label)
+            )
+        )
+        # 4 horizontal gridlines + labels
+        for i in range(5):
+            value = self.y_lo + (self.y_hi - self.y_lo) * i / 4
+            y = self.y(value)
+            parts.append(
+                '<line x1="{}" y1="{:.1f}" x2="{}" y2="{:.1f}" {}/>'.format(
+                    MARGIN, y, self.width - MARGIN, y, _GRID_STYLE
+                )
+            )
+            parts.append(_TEXT.format(
+                x=MARGIN - 6, y=y + 3, size=9,
+                text="{:g}".format(round(value, 1)),
+                extra=' text-anchor="end"',
+            ))
+        for i in range(5):
+            value = self.x_lo + (self.x_hi - self.x_lo) * i / 4
+            x = self.x(value)
+            parts.append(_TEXT.format(
+                x=x, y=self.height - MARGIN + 14, size=9,
+                text="{:g}".format(round(value, 1)),
+                extra=' text-anchor="middle"',
+            ))
+        return parts
+
+
+def _document(body):
+    return (
+        '<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" '
+        'viewBox="0 0 {} {}">\n<rect width="100%" height="100%" '
+        'fill="white"/>\n{}\n</svg>\n'.format(
+            WIDTH, HEIGHT, WIDTH, HEIGHT, "\n".join(body)
+        )
+    )
+
+
+def scatter(points, title="", x_label="", y_label="", highlight=None,
+            y_range=None):
+    """Scatter plot; ``highlight(x, y) -> bool`` colors matching points.
+
+    The Figure 4 trace: slot index vs probe cycles, mapped run
+    highlighted.
+    """
+    if not points:
+        raise ValueError("scatter needs at least one point")
+    xs = [x for x, __ in points]
+    ys = [y for __, y in points]
+    if y_range is None:
+        pad = (max(ys) - min(ys)) * 0.1 + 1
+        y_range = (min(ys) - pad, max(ys) + pad)
+    axes = Axes((min(xs), max(xs)), y_range)
+    body = axes.frame(title, x_label, y_label)
+    for x, y in points:
+        hot = highlight is not None and highlight(x, y)
+        body.append(
+            '<circle cx="{:.1f}" cy="{:.1f}" r="{}" fill="{}" '
+            'fill-opacity="0.8"/>'.format(
+                axes.x(x), axes.y(min(max(y, y_range[0]), y_range[1])),
+                2.4 if hot else 1.6,
+                "#c0392b" if hot else "#2c5f8a",
+            )
+        )
+    return _document(body)
+
+
+def line_series(series, title="", x_label="", y_label="", bands=None):
+    """Line plot of one or more named series; optional shaded x-bands.
+
+    The Figure 6 traces: spy timing vs wall time, active windows shaded.
+    ``series`` is {name: [(x, y), ...]}; ``bands`` is [(x0, x1), ...].
+    """
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("line_series needs data")
+    xs = [x for x, __ in all_points]
+    ys = [y for __, y in all_points]
+    pad = (max(ys) - min(ys)) * 0.1 + 1
+    axes = Axes((min(xs), max(xs)), (min(ys) - pad, max(ys) + pad))
+    body = axes.frame(title, x_label, y_label)
+    for x0, x1 in bands or ():
+        body.insert(1, (
+            '<rect x="{:.1f}" y="{}" width="{:.1f}" height="{}" '
+            'fill="#aed6f1" fill-opacity="0.45"/>'.format(
+                axes.x(x0), MARGIN, max(1.0, axes.x(x1) - axes.x(x0)),
+                HEIGHT - 2 * MARGIN,
+            )
+        ))
+    palette = ("#2c5f8a", "#c0392b", "#1e8449", "#7d3c98")
+    for index, (name, points) in enumerate(sorted(series.items())):
+        path = " ".join(
+            "{}{:.1f},{:.1f}".format("M" if i == 0 else "L",
+                                     axes.x(x), axes.y(y))
+            for i, (x, y) in enumerate(sorted(points))
+        )
+        color = palette[index % len(palette)]
+        body.append(
+            '<path d="{}" fill="none" stroke="{}" stroke-width="1.6"/>'
+            .format(path, color)
+        )
+        body.append(
+            '<text x="{:.1f}" y="{:.1f}" font-size="10" '
+            'font-family="sans-serif" text-anchor="end" fill="{}">{}'
+            "</text>".format(
+                WIDTH - MARGIN - 4, MARGIN + 14 + 13 * index, color,
+                escape(name),
+            )
+        )
+    return _document(body)
+
+
+def histogram(samples, title="", x_label="", y_label="count", bins=32,
+              color="#2c5f8a"):
+    """Histogram of a timing sample (one Figure 2 panel)."""
+    if not samples:
+        raise ValueError("histogram needs data")
+    lo, hi = min(samples), max(samples)
+    if hi == lo:
+        hi = lo + 1
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for value in samples:
+        counts[min(bins - 1, int((value - lo) / step))] += 1
+    axes = Axes((lo, hi), (0, max(counts)))
+    body = axes.frame(title, x_label, y_label)
+    bar_width = (WIDTH - 2 * MARGIN) / bins
+    for i, count in enumerate(counts):
+        if not count:
+            continue
+        x = MARGIN + i * bar_width
+        y = axes.y(count)
+        body.append(
+            '<rect x="{:.1f}" y="{:.1f}" width="{:.1f}" height="{:.1f}" '
+            'fill="{}" fill-opacity="0.85"/>'.format(
+                x, y, max(0.5, bar_width - 1),
+                (HEIGHT - MARGIN) - y, color,
+            )
+        )
+    return _document(body)

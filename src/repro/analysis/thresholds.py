@@ -1,0 +1,152 @@
+"""Alternative threshold-selection strategies for the timing classifier.
+
+The paper derives its threshold from the masked-store identity (Section
+IV-B).  This module provides data-driven alternatives an attacker without
+that insight could use, and a comparison harness:
+
+* :func:`otsu` -- Otsu's method on the probe histogram (maximizes
+  between-class variance; needs no labels, only the bimodal scan itself),
+* :func:`valley` -- deepest-valley split of the smoothed histogram,
+* :func:`oracle` -- best achievable threshold given ground-truth labels
+  (upper bound, for calibration quality reporting).
+"""
+
+import math
+
+
+def _trim_outliers(values, fraction=0.02):
+    """Drop the top tail: interrupt spikes would stretch the histogram so
+    far that both timing modes collapse into one bin."""
+    ordered = sorted(values)
+    keep = max(1, int(len(ordered) * (1.0 - fraction)))
+    return ordered[:keep]
+
+
+def otsu(values, bins=64, trim=0.02):
+    """Otsu's between-class-variance-maximizing threshold.
+
+    ``trim`` drops that top fraction first; raise it when the sample
+    carries a heavy interrupt-spike tail (a handful of far outliers can
+    out-weigh a small nearby class in the between-class variance).
+    """
+    if not values:
+        raise ValueError("cannot threshold an empty sample")
+    values = _trim_outliers(values, trim)
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return lo
+    step = (hi - lo) / bins
+    histogram = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / step))
+        histogram[index] += 1
+
+    total = len(values)
+    total_mean = sum(
+        (lo + (i + 0.5) * step) * count for i, count in enumerate(histogram)
+    ) / total
+
+    best_threshold = lo
+    best_variance = -1.0
+    weight_low = 0
+    mean_low_sum = 0.0
+    for i in range(bins - 1):
+        center = lo + (i + 0.5) * step
+        weight_low += histogram[i]
+        mean_low_sum += center * histogram[i]
+        if weight_low == 0 or weight_low == total:
+            continue
+        weight_high = total - weight_low
+        mean_low = mean_low_sum / weight_low
+        mean_high = (total_mean * total - mean_low_sum) / weight_high
+        variance = weight_low * weight_high * (mean_low - mean_high) ** 2
+        if variance > best_variance:
+            best_variance = variance
+            best_threshold = lo + (i + 1) * step
+    return best_threshold
+
+
+def valley(values, bins=64, smooth=3):
+    """Threshold at the deepest valley of the smoothed histogram."""
+    if not values:
+        raise ValueError("cannot threshold an empty sample")
+    values = _trim_outliers(values)
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return lo
+    step = (hi - lo) / bins
+    histogram = [0] * bins
+    for value in values:
+        histogram[min(bins - 1, int((value - lo) / step))] += 1
+    smoothed = [
+        sum(histogram[max(0, i - smooth) : i + smooth + 1])
+        / (min(bins, i + smooth + 1) - max(0, i - smooth))
+        for i in range(bins)
+    ]
+    # locate the two tallest local maxima and split at the minimum
+    # between them (the distribution is bimodal but either mode may be
+    # the dominant one -- 489 of 512 kernel slots are unmapped)
+    peaks = [
+        i for i in range(bins)
+        if smoothed[i] > 0
+        and (i == 0 or smoothed[i] >= smoothed[i - 1])
+        and (i == bins - 1 or smoothed[i] >= smoothed[i + 1])
+    ]
+    if len(peaks) < 2:
+        return lo + (bins // 2) * step
+    peaks.sort(key=lambda i: smoothed[i], reverse=True)
+    primary = peaks[0]
+    # the second mode must be a genuinely separate bump, not a ripple on
+    # the flank of the dominant one
+    min_separation = max(2, 2 * smooth + 1)
+    secondary = next(
+        (p for p in peaks[1:] if abs(p - primary) >= min_separation),
+        None,
+    )
+    if secondary is None:
+        return lo + (bins // 2) * step
+    left, right = sorted((primary, secondary))
+    between = smoothed[left + 1 : right]
+    if not between:
+        return lo + (left + 1) * step
+    valley_index = left + 1 + between.index(min(between))
+    return lo + (valley_index + 0.5) * step
+
+
+def oracle(mapped_values, unmapped_values):
+    """Best threshold given labels: minimizes total classification error."""
+    candidates = sorted(set(mapped_values) | set(unmapped_values))
+    best_threshold = candidates[0]
+    best_errors = math.inf
+    for threshold in candidates:
+        errors = sum(1 for v in mapped_values if v > threshold)
+        errors += sum(1 for v in unmapped_values if v <= threshold)
+        if errors < best_errors:
+            best_errors = errors
+            best_threshold = threshold
+    return best_threshold, best_errors
+
+
+def compare_strategies(mapped_values, unmapped_values,
+                       paper_threshold=None):
+    """Error rates of each strategy on a labelled probe trace.
+
+    Returns {strategy: (threshold, false_negatives, false_positives)}.
+    """
+    from repro.analysis.stats import threshold_quality
+
+    pooled = list(mapped_values) + list(unmapped_values)
+    strategies = {
+        "otsu": otsu(pooled),
+        "valley": valley(pooled),
+    }
+    oracle_threshold, __ = oracle(mapped_values, unmapped_values)
+    strategies["oracle"] = oracle_threshold
+    if paper_threshold is not None:
+        strategies["paper (store identity)"] = paper_threshold
+
+    report = {}
+    for name, threshold in strategies.items():
+        fn, fp = threshold_quality(threshold, mapped_values, unmapped_values)
+        report[name] = (threshold, fn, fp)
+    return report

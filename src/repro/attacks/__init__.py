@@ -1,0 +1,54 @@
+"""The paper's attacks, built solely on unprivileged AVX masked ops."""
+
+from repro.attacks.baselines import (
+    break_kaslr_prefetch,
+    break_kaslr_tsx,
+    compare_with_baselines,
+)
+from repro.attacks.behavior import BehaviorSpy, detection_metrics
+from repro.attacks.calibrate import ThresholdCalibration, calibrate_store_threshold
+from repro.attacks.eviction import EvictionSet, TLBEvictionBuffer
+from repro.attacks.fingerprint import ApplicationFingerprinter
+from repro.attacks.keystrokes import KeystrokeSpy, KeystrokeTrace
+from repro.attacks.kaslr_break import (
+    KaslrBreakResult,
+    break_kaslr,
+    break_kaslr_amd,
+    break_kaslr_intel,
+)
+from repro.attacks.kpti_break import break_kaslr_kpti
+from repro.attacks.module_detect import ModuleDetectionResult, detect_modules
+from repro.attacks.primitives import (
+    PageTableAttack,
+    PermissionAttack,
+    TLBAttack,
+    double_probe_load,
+    double_probe_store,
+)
+
+__all__ = [
+    "ApplicationFingerprinter",
+    "break_kaslr_prefetch",
+    "break_kaslr_tsx",
+    "compare_with_baselines",
+    "BehaviorSpy",
+    "EvictionSet",
+    "KeystrokeSpy",
+    "KeystrokeTrace",
+    "TLBEvictionBuffer",
+    "detection_metrics",
+    "KaslrBreakResult",
+    "ModuleDetectionResult",
+    "PageTableAttack",
+    "PermissionAttack",
+    "TLBAttack",
+    "ThresholdCalibration",
+    "break_kaslr",
+    "break_kaslr_amd",
+    "break_kaslr_intel",
+    "break_kaslr_kpti",
+    "calibrate_store_threshold",
+    "detect_modules",
+    "double_probe_load",
+    "double_probe_store",
+]

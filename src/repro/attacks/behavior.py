@@ -1,0 +1,106 @@
+"""User-behaviour inference via the TLB attack (paper Section IV-E, Fig. 6).
+
+A spy process repeatedly (1 Hz in the paper, for up to 100 s):
+
+1. evicts the translation caches,
+2. sleeps one interval while the victim's drivers may run,
+3. measures the masked-load time of the first pages of a target kernel
+   module.
+
+If the module was active during the interval, its translations are in the
+TLB and the measurement is fast; idle intervals measure slow (full walks).
+The paper monitors ``bluetooth`` (audio streaming) and ``psmouse`` (mouse
+movement).
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class SpySample:
+    """One spy interval's observation."""
+
+    __slots__ = ("t_seconds", "mean_cycles", "active")
+
+    def __init__(self, t_seconds, mean_cycles, active):
+        self.t_seconds = t_seconds
+        self.mean_cycles = mean_cycles
+        self.active = active
+
+    def __repr__(self):
+        return "SpySample(t={:.0f}s, {:.0f}cy, {})".format(
+            self.t_seconds, self.mean_cycles,
+            "ACTIVE" if self.active else "idle",
+        )
+
+
+class BehaviorSpy:
+    """Monitors one kernel module's TLB state over time."""
+
+    def __init__(self, machine, module_base, probe_pages=10,
+                 hit_threshold=None):
+        self.machine = machine
+        self.core = machine.core
+        self.module_base = module_base
+        self.probe_pages = probe_pages
+        cpu = machine.cpu
+        if hit_threshold is None:
+            hit_threshold = (
+                cpu.expected_kernel_mapped_load_tlb_hit()
+                + cpu.measurement_overhead + 8
+            )
+        self.hit_threshold = hit_threshold
+
+    def _probe_once(self):
+        timings = [
+            self.core.timed_masked_load(self.module_base + i * PAGE_SIZE)
+            for i in range(self.probe_pages)
+        ]
+        return sum(timings) / len(timings)
+
+    def run(self, workload, duration_s=100, interval_s=1.0):
+        """Run the spy loop against a workload's event schedule.
+
+        ``workload`` must expose ``deliver(machine, t_start, t_end)`` which
+        performs whatever kernel activity the victim generates inside the
+        interval.  Returns the list of :class:`SpySample`.
+        """
+        samples = []
+        t = 0.0
+        interval_cycles = int(
+            interval_s * self.machine.cpu.freq_ghz * 1e9
+        )
+        while t < duration_s:
+            self.core.evict_translation_caches()
+            # the victim runs during the sleep interval
+            workload.deliver(self.machine, t, t + interval_s)
+            self.core.clock.advance(interval_cycles)
+            mean = self._probe_once()
+            samples.append(
+                SpySample(t, mean, active=mean <= self.hit_threshold)
+            )
+            t += interval_s
+        return samples
+
+
+def detection_metrics(samples, truth_fn):
+    """Compare spy verdicts against ground truth activity.
+
+    ``truth_fn(t)`` returns True if the victim was genuinely active in the
+    interval starting at ``t``.  Returns (accuracy, precision, recall).
+    """
+    tp = fp = tn = fn = 0
+    for sample in samples:
+        truth = truth_fn(sample.t_seconds)
+        if sample.active and truth:
+            tp += 1
+        elif sample.active and not truth:
+            fp += 1
+        elif not sample.active and not truth:
+            tn += 1
+        else:
+            fn += 1
+    total = tp + fp + tn + fn
+    accuracy = (tp + tn) / total if total else 1.0
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return accuracy, precision, recall

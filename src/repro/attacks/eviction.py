@@ -1,0 +1,91 @@
+"""Software TLB-eviction sets (the paper's noise-reduction ingredient).
+
+``Core.evict_translation_caches`` models a wholesale eviction at a fixed
+cycle cost.  This module builds the *actual* mechanism behind it, the way
+Gras et al. (TLB;DR) construct it and the paper's TLB attack uses it:
+
+* mmap a large buffer,
+* for a target virtual address, derive the buffer pages whose VPNs are
+  congruent to the target's TLB set (linear set indexing),
+* touch enough of them to displace every way of that set in both TLB
+  levels.
+
+Targeted eviction is much cheaper than a full flush and is what a 1 Hz
+spy loop really does between samples.
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class EvictionSet:
+    """Pages that map to the same TLB set(s) as one target address."""
+
+    __slots__ = ("target", "pages")
+
+    def __init__(self, target, pages):
+        self.target = target
+        self.pages = list(pages)
+
+    def __len__(self):
+        return len(self.pages)
+
+
+class TLBEvictionBuffer:
+    """An attacker-owned buffer large enough to build any eviction set."""
+
+    def __init__(self, machine, pages=4096):
+        self.machine = machine
+        self.core = machine.core
+        if machine.process is None:
+            raise ValueError("eviction buffers need a process to mmap into")
+        self.base = machine.process.mmap(pages, "rw-", name="eviction-buffer")
+        self.pages = pages
+        # touch every page once so later eviction passes never minor-fault
+        for i in range(pages):
+            self.core.masked_load(self.base + i * PAGE_SIZE)
+
+    def build_set(self, target, safety_factor=2):
+        """Construct an eviction set for ``target`` (4 KiB translations).
+
+        The attacker knows the public TLB geometry of its own CPU (set
+        counts are documented / recoverable); congruence is linear in the
+        VPN, so buffer pages whose VPN matches the target's modulo the
+        set count conflict in that level.
+        """
+        tlb = self.core.tlb
+        l1 = tlb.l1[PAGE_SIZE]
+        stlb = tlb.stlb
+        target_vpn = target // PAGE_SIZE
+
+        need_l1 = l1.ways * safety_factor
+        need_stlb = stlb.ways * safety_factor
+        pages = []
+        for i in range(self.pages):
+            va = self.base + i * PAGE_SIZE
+            vpn = va // PAGE_SIZE
+            in_l1_set = vpn % l1.sets == target_vpn % l1.sets
+            in_stlb_set = vpn % stlb.sets == target_vpn % stlb.sets
+            if in_l1_set or in_stlb_set:
+                pages.append(va)
+            if (
+                sum(1 for p in pages if (p // PAGE_SIZE) % stlb.sets
+                    == target_vpn % stlb.sets) >= need_stlb
+                and sum(1 for p in pages if (p // PAGE_SIZE) % l1.sets
+                        == target_vpn % l1.sets) >= need_l1
+            ):
+                break
+        return EvictionSet(target, pages)
+
+    def evict(self, eviction_set):
+        """Touch the set's pages, displacing the target's translation.
+
+        Returns the cycles spent (the spy's per-sample eviction cost).
+        """
+        start = self.core.clock.cycles
+        for va in eviction_set.pages:
+            self.core.masked_load(va)
+        return self.core.clock.elapsed_since(start)
+
+    def evict_address(self, target):
+        """Convenience: build-and-evict for one address."""
+        return self.evict(self.build_set(target))

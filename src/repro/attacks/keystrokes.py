@@ -1,0 +1,105 @@
+"""Keystroke-timing inference (the paper's suggested extension).
+
+Section IV-E closes with "our attack will likely be extended not only to
+monitor other events (e.g., keystroke)".  Keystrokes need much finer
+sampling than the 1 Hz module spy: the spy polls the input driver's pages
+every few milliseconds; a TLB hit in a polling window means a key event
+was processed during it.  Recovered inter-keystroke intervals are the
+classic input for password/text inference models.
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class KeystrokeTrace:
+    """Spy output: detected event times vs the ground truth schedule."""
+
+    __slots__ = ("detected", "truth", "interval_s")
+
+    def __init__(self, detected, truth, interval_s):
+        self.detected = list(detected)
+        self.truth = list(truth)
+        self.interval_s = interval_s
+
+    def matched(self, tolerance=None):
+        """Pair each true keystroke with a detection within tolerance."""
+        if tolerance is None:
+            tolerance = self.interval_s
+        pairs = []
+        unclaimed = list(self.detected)
+        for t in self.truth:
+            best = None
+            for d in unclaimed:
+                if abs(d - t) <= tolerance and (
+                    best is None or abs(d - t) < abs(best - t)
+                ):
+                    best = d
+            if best is not None:
+                unclaimed.remove(best)
+                pairs.append((t, best))
+        return pairs
+
+    def recall(self, tolerance=None):
+        if not self.truth:
+            return 1.0
+        return len(self.matched(tolerance)) / len(self.truth)
+
+    def false_detections(self, tolerance=None):
+        if tolerance is None:
+            tolerance = self.interval_s
+        claimed = {d for __, d in self.matched(tolerance)}
+        return [d for d in self.detected if d not in claimed]
+
+    def inter_key_intervals(self):
+        """Recovered inter-keystroke intervals (the inference payload)."""
+        ordered = sorted(self.detected)
+        return [b - a for a, b in zip(ordered, ordered[1:])]
+
+
+class KeystrokeSpy:
+    """High-rate TLB spy on the input driver's pages."""
+
+    def __init__(self, machine, module="hid", probe_pages=4,
+                 hit_threshold=None):
+        self.machine = machine
+        self.core = machine.core
+        cpu = machine.cpu
+        if hit_threshold is None:
+            hit_threshold = (
+                cpu.expected_kernel_mapped_load_tlb_hit()
+                + cpu.measurement_overhead + 8
+            )
+        self.hit_threshold = hit_threshold
+        self.module = module
+        self.base = machine.kernel.module_map[module][0]
+        self.probe_pages = probe_pages
+
+    def run(self, keystroke_times, duration_s, interval_s=0.005):
+        """Poll at ``interval_s`` while the victim types at the given
+        times; returns a :class:`KeystrokeTrace`."""
+        core = self.core
+        kernel = self.machine.kernel
+        interval_cycles = int(
+            interval_s * self.machine.cpu.freq_ghz * 1e9
+        )
+        pending = sorted(keystroke_times)
+        detected = []
+        t = 0.0
+        while t < duration_s:
+            core.evict_translation_caches()
+            # keystrokes that land inside this window drive the driver
+            while pending and pending[0] < t + interval_s:
+                kernel.touch_module(core, self.module, self.probe_pages)
+                pending.pop(0)
+            core.clock.advance(interval_cycles)
+            hits = 0
+            for i in range(self.probe_pages):
+                measured = core.timed_masked_load(
+                    self.base + i * PAGE_SIZE
+                )
+                if measured <= self.hit_threshold:
+                    hits += 1
+            if hits >= (self.probe_pages + 1) // 2:
+                detected.append(t + interval_s)
+            t += interval_s
+        return KeystrokeTrace(detected, sorted(keystroke_times), interval_s)

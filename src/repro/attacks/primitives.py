@@ -1,0 +1,184 @@
+"""The paper's three attack primitives (Section III-C).
+
+* **Page-table attack** (P2/P3): double-probe an address; a mapped page's
+  second access is a TLB hit, an unmapped page's second access walks
+  again.  On parts that do not fill the TLB for supervisor pages, timing
+  instead leaks the walk's termination depth.
+* **TLB attack** (P4): evict the translation caches, let the victim run,
+  then single-probe -- a fast probe means the victim touched the page.
+* **Permission attack** (P5): the masked load separates accessible pages
+  from PROT_NONE; the masked store further separates writable from
+  read-only pages.
+
+Every primitive relies on fault suppression (P1): all probes use the
+all-zero mask, so no #PF is ever delivered.
+"""
+
+from repro.cpu.avx import ZERO_MASK
+
+
+def double_probe_load(core, va, rounds=1, take_min=False):
+    """P2 probe: access twice per round, measure the second access.
+
+    Returns the mean measured cycles of the second accesses, or -- with
+    ``take_min`` -- their minimum.  The minimum is the standard outlier
+    filter of timing attacks (a single interrupt spike cannot flip the
+    verdict); scans whose verdict is per-page fragile (module-region
+    extraction) use it, while the base scan averages.
+    """
+    samples = []
+    for _ in range(rounds):
+        core.masked_load(va, ZERO_MASK)
+        samples.append(core.timed_masked_load(va, ZERO_MASK))
+    if take_min:
+        return min(samples)
+    return sum(samples) / rounds
+
+
+def double_probe_store(core, va, rounds=1, take_min=False):
+    """P2 probe with masked stores (used for the user-space scans)."""
+    samples = []
+    for _ in range(rounds):
+        core.masked_store(va, ZERO_MASK)
+        samples.append(core.timed_masked_store(va, ZERO_MASK))
+    if take_min:
+        return min(samples)
+    return sum(samples) / rounds
+
+
+def single_probe_load(core, va):
+    """One timed access with no warm-up (the TLB-attack measurement)."""
+    return core.timed_masked_load(va, ZERO_MASK)
+
+
+class PageTableAttack:
+    """P2/P3: distinguish present from non-present pages by probe timing."""
+
+    def __init__(self, machine, calibration=None, rounds=None):
+        self.machine = machine
+        self.core = machine.core
+        self.calibration = calibration
+        self.rounds = rounds if rounds is not None else machine.cpu.rounds_default
+
+    def probe(self, va):
+        """Mean second-access timing of ``va``."""
+        return double_probe_load(self.core, va, self.rounds)
+
+    def is_mapped(self, va):
+        """Classify one address (requires a calibration)."""
+        if self.calibration is None:
+            raise ValueError("PageTableAttack.is_mapped needs a calibration")
+        return self.calibration.classify_mapped(self.probe(va))
+
+    def scan(self, addresses):
+        """Probe many addresses; returns the list of mean timings."""
+        return [self.probe(va) for va in addresses]
+
+    def classify_scan(self, addresses):
+        """Probe and classify; returns a list of booleans (mapped?)."""
+        if self.calibration is None:
+            raise ValueError("PageTableAttack.classify_scan needs a calibration")
+        return [
+            self.calibration.classify_mapped(t) for t in self.scan(addresses)
+        ]
+
+
+class TLBAttack:
+    """P4: observe whether the victim's activity loaded a translation.
+
+    Usage: ``prime()`` (evict), let the victim run, then ``probe(va)``.
+    A measurement below ``hit_threshold`` means the translation was in the
+    TLB, i.e. the kernel touched that page since the eviction.
+    """
+
+    def __init__(self, machine, hit_threshold=None):
+        self.machine = machine
+        self.core = machine.core
+        if hit_threshold is None:
+            # TLB hit on a kernel page costs base + L1 hit + assist; a miss
+            # additionally walks.  Halfway into the gap is a safe default,
+            # and the attacker can measure both modes itself.
+            cpu = machine.cpu
+            hit = cpu.expected_kernel_mapped_load_tlb_hit()
+            hit_threshold = hit + cpu.measurement_overhead + 8
+        self.hit_threshold = hit_threshold
+
+    def prime(self):
+        """Evict the TLB/PSC so any later hit is attributable to the victim."""
+        self.core.evict_translation_caches()
+
+    def probe(self, va):
+        """Single timed access; True if it was a TLB hit."""
+        measured = single_probe_load(self.core, va)
+        return measured <= self.hit_threshold, measured
+
+    def probe_region(self, base, pages, page_size=4096):
+        """Probe the first ``pages`` pages of a region; returns mean timing
+        and the per-page hit verdicts."""
+        verdicts = []
+        timings = []
+        for i in range(pages):
+            hit, measured = self.probe(base + i * page_size)
+            verdicts.append(hit)
+            timings.append(measured)
+        return sum(timings) / len(timings), verdicts
+
+
+class PermissionAttack:
+    """P5: recover page permissions with load+store probe combination.
+
+    The two-pass methodology of Section IV-F: a load pass separates
+    accessible pages from PROT_NONE/unmapped; a store pass separates
+    writable pages (A/D assist) from read-only ones (write-permission
+    assist).
+    """
+
+    def __init__(self, machine, rounds=None):
+        self.machine = machine
+        self.core = machine.core
+        self.rounds = rounds if rounds is not None else machine.cpu.rounds_default
+        cpu = machine.cpu
+        overhead = cpu.measurement_overhead
+        # Decision boundaries between the analytically known modes; the
+        # attacker could equally calibrate them on its own pages.
+        fast_load = cpu.load_base + cpu.tlb_hit_l1
+        none_load = cpu.load_base + cpu.assist_load
+        self._load_boundary = overhead + (fast_load + none_load) / 2
+        fast_store = cpu.store_base + cpu.tlb_hit_l1
+        ro_store = fast_store + cpu.assist_store
+        rw_store = fast_store + cpu.assist_dirty
+        # already-dirty writable pages take no assist at all: fastest mode
+        self._store_dirty_ro = overhead + (fast_store + ro_store) / 2
+        self._store_ro_rw = overhead + (ro_store + rw_store) / 2
+
+    def probe_load(self, va):
+        # min-filtered: one interrupt spike must not flip a page's class
+        return double_probe_load(self.core, va, self.rounds, take_min=True)
+
+    def probe_store(self, va):
+        return double_probe_store(self.core, va, self.rounds, take_min=True)
+
+    def classify(self, va):
+        """Return the recovered permission class of one page.
+
+        ``'---'`` (unmapped/PROT_NONE), ``'r'`` (readable, not writable;
+        the attack cannot split r-- from r-x, Figure 3) or ``'rw'``.
+        """
+        load_t = self.probe_load(va)
+        if load_t > self._load_boundary:
+            return "---"
+        # the load pass guarantees the page is mapped; the store pass only
+        # has to split the three store modes: no assist (dirty writable),
+        # write-permission assist (read-only), A/D assist (clean writable)
+        store_t = self.probe_store(va)
+        if store_t <= self._store_dirty_ro:
+            return "rw"  # dirty writable page: store took no assist
+        if store_t <= self._store_ro_rw:
+            return "r"
+        return "rw"  # clean writable page: A/D assist
+
+    def map_region(self, base, pages, page_size=4096):
+        """Permission map of ``pages`` consecutive pages from ``base``."""
+        return [
+            self.classify(base + i * page_size) for i in range(pages)
+        ]

@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each command boots a simulated machine and runs one of the paper's
+attacks against it, printing a short report.  Useful for exploring the
+system without writing code:
+
+    python -m repro cpus
+    python -m repro kaslr --cpu i7-1065G7 --seed 7
+    python -m repro kaslr --cpu ryzen5-5600X
+    python -m repro modules
+    python -m repro kpti
+    python -m repro spy --app video-call
+    python -m repro windows --kvas
+    python -m repro cloud ec2
+    python -m repro sgx
+    python -m repro poc
+"""
+
+import argparse
+import sys
+
+from repro.cpu.models import CPU_CATALOG, get_cpu_model
+from repro.machine import Machine
+
+
+def _add_common(parser, default_cpu="i5-12400F"):
+    parser.add_argument("--cpu", default=default_cpu,
+                        help="CPU catalog key (see `cpus`)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="boot seed (layout + noise)")
+
+
+def cmd_cpus(args):
+    print("{:<18} {:<28} {:<12} {:>8} {}".format(
+        "key", "name", "uarch", "GHz", "notes"))
+    for key, cpu in sorted(CPU_CATALOG.items()):
+        notes = []
+        if not cpu.fills_tlb_for_supervisor_user_probe:
+            notes.append("no-sup-TLB-fill")
+        if cpu.meltdown_vulnerable:
+            notes.append("meltdown")
+        if cpu.supports_sgx:
+            notes.append("sgx")
+        print("{:<18} {:<28} {:<12} {:>8.1f} {}".format(
+            key, cpu.name, cpu.microarchitecture, cpu.freq_ghz,
+            ",".join(notes)))
+    return 0
+
+
+def cmd_kaslr(args):
+    from repro.attacks.kaslr_break import break_kaslr
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    result = break_kaslr(machine, rounds=args.rounds)
+    ok = result.base == machine.kernel.base
+    print("method   : {}".format(result.method))
+    print("base     : {}".format(hex(result.base) if result.base else None))
+    print("truth    : {:#x}".format(machine.kernel.base))
+    print("verdict  : {}".format("CORRECT" if ok else "WRONG"))
+    print("probing  : {:.3f} ms".format(result.probing_ms))
+    print("total    : {:.3f} ms".format(result.total_ms))
+    return 0 if ok else 1
+
+
+def cmd_modules(args):
+    from repro.attacks.module_detect import detect_modules, region_accuracy
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    result = detect_modules(machine)
+    print("regions    : {}".format(len(result.regions)))
+    print("identified : {}".format(len(result.identified)))
+    print("accuracy   : {:.2%}".format(
+        region_accuracy(result, machine.kernel)))
+    print("probing    : {:.2f} ms".format(result.probing_ms))
+    for name, address in sorted(result.identified.items()):
+        print("  {:<20} @ {:#x}".format(name, address))
+    return 0
+
+
+def cmd_kpti(args):
+    from repro.attacks.kpti_break import break_kaslr_kpti
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True)
+    result = break_kaslr_kpti(machine)
+    ok = result.base == machine.kernel.base
+    print("trampoline offset : {:#x}".format(
+        machine.kernel.trampoline_offset))
+    print("derived base      : {}".format(
+        hex(result.base) if result.base else None))
+    print("verdict           : {}".format("CORRECT" if ok else "WRONG"))
+    return 0 if ok else 1
+
+
+def cmd_spy(args):
+    from repro.attacks.fingerprint import ApplicationFingerprinter
+    from repro.workloads.apps import APP_CATALOG, ApplicationWorkload
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    spy = ApplicationFingerprinter(machine)
+    workload = ApplicationWorkload(args.app, seed=args.seed + 1)
+    guess, observation, ranking = spy.identify(
+        workload, list(APP_CATALOG.values()), intervals=args.intervals
+    )
+    print("true application : {}".format(args.app))
+    print("observed rates   :")
+    for name, rate in sorted(observation.rates.items()):
+        if rate > 0:
+            print("  {:<16} {:.0%}".format(name, rate))
+    print("classified as    : {} ({})".format(
+        guess, "CORRECT" if guess == args.app else "WRONG"))
+    return 0 if guess == args.app else 1
+
+
+def cmd_windows(args):
+    from repro.attacks.windows_break import (
+        find_kernel_region,
+        find_kvas_region,
+    )
+
+    if args.kvas:
+        machine = Machine.windows(cpu="i7-6600U", version="1709",
+                                  seed=args.seed)
+        result = find_kvas_region(machine)
+    else:
+        machine = Machine.windows(cpu=args.cpu, seed=args.seed)
+        result = find_kernel_region(machine)
+    ok = result.base == machine.kernel.base
+    print("method   : {}".format(result.method))
+    print("base     : {}".format(hex(result.base) if result.base else None))
+    print("verdict  : {}".format("CORRECT" if ok else "WRONG"))
+    print("bits     : {}".format(result.derandomized_bits))
+    print("runtime  : {:.3f} s (extrapolated)".format(
+        result.probing_seconds))
+    return 0 if ok else 1
+
+
+def cmd_cloud(args):
+    from repro.attacks.cloud_break import audit_cloud
+
+    result = audit_cloud(args.provider, seed=args.seed)
+    print("provider : {}".format(result.provider))
+    print("method   : {}".format(result.method))
+    print("base     : {}".format(hex(result.base) if result.base else None))
+    print("verdict  : {}".format(
+        "CORRECT" if result.base_correct else "WRONG"))
+    print("base time: {:.3f} ms".format(result.base_ms))
+    if result.modules_ms is not None:
+        print("modules  : {:.2f} ms ({} identified)".format(
+            result.modules_ms, result.modules_identified))
+    return 0 if result.base_correct else 1
+
+
+def cmd_sgx(args):
+    from repro.attacks.sgx_break import break_aslr_from_enclave
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    machine.create_enclave()
+    result = break_aslr_from_enclave(machine)
+    ok = result.code_base == machine.process.text_base
+    print("code base : {}".format(
+        hex(result.code_base) if result.code_base else None))
+    print("verdict   : {}".format("CORRECT" if ok else "WRONG"))
+    print("load pass : {:.1f} s".format(result.load_seconds))
+    print("store pass: {:.1f} s".format(result.store_seconds))
+    print("libraries : {}".format(
+        ", ".join(m.name for m in result.libraries.matches)))
+    return 0 if ok else 1
+
+
+def cmd_scenario(args):
+    from repro.scenarios import run_scenario
+
+    result = run_scenario(args.path)
+    print("scenario : {}".format(result.name))
+    for key, value in result.observations.items():
+        if isinstance(value, int) and key in ("base",):
+            value = hex(value) if value else None
+        print("  {:<16} {}".format(key, value))
+    print("verdict  : {}".format("PASS" if result.passed else "FAIL"))
+    for violation in result.violations:
+        print("  violated: {}".format(violation))
+    return 0 if result.passed else 1
+
+
+def cmd_suite(args):
+    from repro.scenarios import run_suite
+
+    results = run_suite(args.directory)
+    if not results:
+        print("no scenarios found in {}".format(args.directory))
+        return 2
+    failures = 0
+    for result in results:
+        print("{:<6} {}".format(
+            "PASS" if result.passed else "FAIL", result.name))
+        for violation in result.violations:
+            failures += 1
+            print("       {}".format(violation))
+    print("{} / {} scenarios passed".format(
+        sum(r.passed for r in results), len(results)))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_poc(args):
+    from repro.isa.programs import run_double_probe_poc, run_kaslr_scan_poc
+    from repro.os.linux import layout
+
+    machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    mapped = run_double_probe_poc(machine, machine.kernel.base)
+    unmapped = run_double_probe_poc(
+        machine, machine.kernel.base - 0x200000
+    )
+    print("assembly double-probe: mapped {} / unmapped {} cycles".format(
+        mapped, unmapped))
+    slot, __ = run_kaslr_scan_poc(
+        machine, layout.KERNEL_TEXT_START, layout.KERNEL_TEXT_SLOTS
+    )
+    base = layout.kernel_base_of_slot(slot)
+    ok = base == machine.kernel.base
+    print("assembly scan loop   : base {:#x} ({})".format(
+        base, "CORRECT" if ok else "WRONG"))
+    return 0 if ok else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AVX timing side-channel attacks against ASLR "
+                    "(DAC 2023), on a simulated x86-64 substrate",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("cpus", help="list CPU models").set_defaults(
+        func=cmd_cpus)
+
+    p = subparsers.add_parser("kaslr", help="break the kernel base")
+    _add_common(p)
+    p.add_argument("--rounds", type=int, default=None)
+    p.set_defaults(func=cmd_kaslr)
+
+    p = subparsers.add_parser("modules", help="detect kernel modules")
+    _add_common(p)
+    p.set_defaults(func=cmd_modules)
+
+    p = subparsers.add_parser("kpti", help="break KASLR despite KPTI")
+    _add_common(p)
+    p.set_defaults(func=cmd_kpti)
+
+    p = subparsers.add_parser("spy", help="fingerprint an application")
+    _add_common(p, default_cpu="i7-1065G7")
+    p.add_argument("--app", default="video-call",
+                   help="victim application (see repro.workloads.apps)")
+    p.add_argument("--intervals", type=int, default=24)
+    p.set_defaults(func=cmd_spy)
+
+    p = subparsers.add_parser("windows", help="Windows region/KVAS scan")
+    _add_common(p)
+    p.add_argument("--kvas", action="store_true",
+                   help="attack a KVA-Shadow kernel instead")
+    p.set_defaults(func=cmd_windows)
+
+    p = subparsers.add_parser("cloud", help="audit a cloud provider")
+    p.add_argument("provider", choices=("ec2", "gce", "azure"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_cloud)
+
+    p = subparsers.add_parser("sgx", help="in-enclave user ASLR break")
+    _add_common(p, default_cpu="i7-1065G7")
+    p.set_defaults(func=cmd_sgx)
+
+    p = subparsers.add_parser("poc", help="run the assembly PoC")
+    _add_common(p)
+    p.set_defaults(func=cmd_poc)
+
+    p = subparsers.add_parser("scenario", help="run one JSON scenario")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_scenario)
+
+    p = subparsers.add_parser("suite", help="run a scenario directory")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as error:  # surface config errors cleanly
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

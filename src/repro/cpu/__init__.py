@@ -1,0 +1,21 @@
+"""CPU-side substrate: clocks, timing models, and the AVX masked-op unit."""
+
+from repro.cpu.avx import AVXUnit, MaskedOpResult, make_mask
+from repro.cpu.clock import SimClock
+from repro.cpu.core import Core
+from repro.cpu.models import CPU_CATALOG, CPUModel, get_cpu_model
+from repro.cpu.noise import NoiseModel
+from repro.cpu.perfcounters import PerfCounters
+
+__all__ = [
+    "AVXUnit",
+    "CPU_CATALOG",
+    "CPUModel",
+    "Core",
+    "MaskedOpResult",
+    "NoiseModel",
+    "PerfCounters",
+    "SimClock",
+    "get_cpu_model",
+    "make_mask",
+]

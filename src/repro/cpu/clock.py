@@ -1,0 +1,44 @@
+"""Simulated core clock.
+
+All timing in the simulator is expressed in core cycles; the clock converts
+to wall time through the CPU model's effective attack-loop frequency, which
+is how the paper's millisecond runtimes are reproduced without real
+hardware.
+"""
+
+
+class SimClock:
+    """Monotonic cycle counter for one simulated core."""
+
+    def __init__(self, freq_ghz=4.0):
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self.freq_ghz = freq_ghz
+        self._cycles = 0
+
+    @property
+    def cycles(self):
+        return self._cycles
+
+    def advance(self, cycles):
+        """Advance the clock by a non-negative number of cycles."""
+        if cycles < 0:
+            raise ValueError("cannot advance clock by {} cycles".format(cycles))
+        self._cycles += int(cycles)
+
+    def cycles_to_seconds(self, cycles):
+        return cycles / (self.freq_ghz * 1e9)
+
+    def cycles_to_ms(self, cycles):
+        return self.cycles_to_seconds(cycles) * 1e3
+
+    def cycles_to_us(self, cycles):
+        return self.cycles_to_seconds(cycles) * 1e6
+
+    @property
+    def seconds(self):
+        return self.cycles_to_seconds(self._cycles)
+
+    def elapsed_since(self, start_cycles):
+        """Cycles elapsed since a previously sampled :attr:`cycles` value."""
+        return self._cycles - start_cycles

@@ -1,0 +1,46 @@
+"""Measurement-noise model for timed instruction sequences.
+
+Real RDTSC-delimited measurements jitter for two reasons the attacks must
+survive: short-scale pipeline/frequency noise (modelled as a truncated
+Gaussian) and rare large outliers from interrupts or SMIs (modelled as
+additive spikes).  Everything is driven by an explicit
+``numpy.random.Generator`` so runs are reproducible.
+"""
+
+import numpy as np
+
+
+class NoiseModel:
+    """Additive, non-negative timing noise."""
+
+    def __init__(self, rng, sigma=2.0, spike_prob=0.001, spike_cycles=400):
+        self.rng = rng
+        self.sigma = sigma
+        self.spike_prob = spike_prob
+        self.spike_cycles = spike_cycles
+
+    def sample(self):
+        """Draw one noise value in whole cycles (always >= 0)."""
+        noise = self.rng.normal(0.0, self.sigma)
+        if self.spike_prob > 0 and self.rng.random() < self.spike_prob:
+            noise += self.spike_cycles * (0.5 + self.rng.random())
+        return max(0, int(round(noise)))
+
+    def sample_many(self, n):
+        """Vectorized draw of ``n`` noise values (whole cycles, >= 0)."""
+        noise = self.rng.normal(0.0, self.sigma, size=n)
+        if self.spike_prob > 0:
+            spikes = self.rng.random(n) < self.spike_prob
+            noise[spikes] += self.spike_cycles * (
+                0.5 + self.rng.random(int(spikes.sum()))
+            )
+        return np.maximum(0, np.rint(noise).astype(np.int64))
+
+    def scaled(self, factor):
+        """Return a copy with sigma scaled (e.g. noisy cloud neighbours)."""
+        return NoiseModel(
+            self.rng,
+            sigma=self.sigma * factor,
+            spike_prob=self.spike_prob,
+            spike_cycles=self.spike_cycles,
+        )

@@ -1,0 +1,49 @@
+"""Performance-monitoring counters used in the paper's Figure 2.
+
+Only the events the paper reads are modelled:
+
+* ``ASSISTS.ANY``                       -- microcode assists issued
+* ``DTLB_LOAD_MISSES.WALK_COMPLETED``   -- completed page-table walks
+* ``DTLB_LOAD_MISSES.WALK_DURATION``    -- cycles spent walking
+plus a few bookkeeping counters handy for tests.
+"""
+
+
+class PerfCounters:
+    """A fixed set of named monotonically increasing counters."""
+
+    EVENTS = (
+        "ASSISTS.ANY",
+        "DTLB_LOAD_MISSES.WALK_COMPLETED",
+        "DTLB_LOAD_MISSES.WALK_DURATION",
+        "DTLB_LOAD_MISSES.STLB_HIT",
+        "MEM_INST_RETIRED.ALL_LOADS",
+        "MEM_INST_RETIRED.ALL_STORES",
+        "PAGE_FAULTS",
+    )
+
+    def __init__(self):
+        self._counts = {event: 0 for event in self.EVENTS}
+
+    def increment(self, event, amount=1):
+        if event not in self._counts:
+            raise KeyError("unknown performance event {!r}".format(event))
+        self._counts[event] += amount
+
+    def read(self, event):
+        return self._counts[event]
+
+    def snapshot(self):
+        """Copy of all counters, for delta measurements."""
+        return dict(self._counts)
+
+    def delta_since(self, snapshot):
+        """Per-event difference against a previous :meth:`snapshot`."""
+        return {
+            event: self._counts[event] - snapshot.get(event, 0)
+            for event in self._counts
+        }
+
+    def reset(self):
+        for event in self._counts:
+            self._counts[event] = 0

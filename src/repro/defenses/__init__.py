@@ -1,0 +1,37 @@
+"""The countermeasures of paper Section V, and their bypasses."""
+
+from repro.defenses.fgkaslr import TemplateAttackResult, tlb_template_attack
+from repro.defenses.flare import FlareEvaluation, evaluate_flare
+from repro.defenses.nop_mask import (
+    BinaryCorpus,
+    enable_nop_mask_mitigation,
+    mitigation_impact,
+)
+from repro.defenses.overhead import (
+    fgkaslr_overhead,
+    flare_overhead,
+    nop_mask_overhead,
+)
+from repro.defenses.rerandomize import evaluate_rerandomization
+from repro.defenses.timer_coarsening import (
+    evaluate_timer_coarsening,
+    evaluate_tlb_attack_coarsening,
+)
+from repro.defenses.tlb_partition import evaluate_tlb_partitioning
+
+__all__ = [
+    "BinaryCorpus",
+    "FlareEvaluation",
+    "TemplateAttackResult",
+    "enable_nop_mask_mitigation",
+    "evaluate_flare",
+    "evaluate_rerandomization",
+    "evaluate_timer_coarsening",
+    "evaluate_tlb_attack_coarsening",
+    "evaluate_tlb_partitioning",
+    "fgkaslr_overhead",
+    "flare_overhead",
+    "nop_mask_overhead",
+    "mitigation_impact",
+    "tlb_template_attack",
+]

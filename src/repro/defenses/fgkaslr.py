@@ -1,0 +1,112 @@
+"""FGKASLR and its TLB-template bypass (paper Section V-A).
+
+Function Granular KASLR reorders individual kernel functions at boot, so
+knowing the image base no longer yields function addresses.  The paper's
+bypass (after Lipp et al.) is a *template attack* on TLB state:
+
+1. evict the translation caches,
+2. invoke the target syscall (the kernel touches the handler's text page),
+3. single-probe every kernel text page; the hot pages are the entry stub
+   plus the handler's page.
+
+Pages hot for *every* syscall (the shared entry path) are filtered out by
+intersection; what remains localizes each handler at 4 KiB granularity --
+FGKASLR's own requirement of 4 KiB text pages is what makes this work.
+"""
+
+from repro.mmu.address import PAGE_SIZE, PAGE_SIZE_2M
+
+
+class TemplateAttackResult:
+    """Recovered handler pages, and how they compare to ground truth."""
+
+    __slots__ = ("handler_pages", "common_pages", "probed_pages", "runtime_ms")
+
+    def __init__(self, handler_pages, common_pages, probed_pages, runtime_ms):
+        self.handler_pages = handler_pages
+        self.common_pages = common_pages
+        self.probed_pages = probed_pages
+        self.runtime_ms = runtime_ms
+
+    def accuracy(self, kernel):
+        """Fraction of targeted handlers located on their true page."""
+        if not self.handler_pages:
+            return 0.0
+        correct = sum(
+            1 for name, page in self.handler_pages.items()
+            if page is not None
+            and kernel.functions[name] // PAGE_SIZE == page // PAGE_SIZE
+        )
+        return correct / len(self.handler_pages)
+
+    def __repr__(self):
+        return "TemplateAttackResult({} handlers, {:.1f} ms)".format(
+            len(self.handler_pages), self.runtime_ms
+        )
+
+
+def _text_pages(kernel):
+    """All 4 KiB page addresses of the kernel's text half."""
+    text_bytes = max(1, kernel.image_2m_pages // 2) * PAGE_SIZE_2M
+    return [
+        kernel.base + i * PAGE_SIZE
+        for i in range(text_bytes // PAGE_SIZE)
+    ]
+
+
+def tlb_template_attack(machine, syscalls, hit_threshold=None,
+                        known_base=None):
+    """Locate each syscall handler's text page despite FGKASLR.
+
+    ``known_base`` defaults to the machine's true base: the template
+    attack is stage two, run after a standard KASLR break has already
+    recovered the base.
+    """
+    if len(syscalls) < 2:
+        raise ValueError(
+            "the template attack separates the shared entry path from the "
+            "per-syscall handler by differencing; give it >= 2 syscalls"
+        )
+    core = machine.core
+    kernel = machine.kernel
+    cpu = machine.cpu
+    if hit_threshold is None:
+        # By the time a hot page is probed, earlier probe fills have
+        # usually pushed its entry from the L1 into the sTLB, so the
+        # boundary sits midway between an L2 hit and a warm 4 KiB walk.
+        hit_l2 = cpu.load_base + cpu.tlb_hit_l2 + cpu.assist_load
+        miss = (cpu.load_base + cpu.assist_load + cpu.walk_base
+                + cpu.walk_access_hot + 4 * cpu.level_step_cycles)
+        hit_threshold = cpu.measurement_overhead + (hit_l2 + miss) / 2
+    pages = _text_pages(kernel)
+    if known_base is not None:
+        delta = known_base - kernel.base
+        pages = [va + delta for va in pages]
+
+    # Probing itself fills the TLB; sweeping all text pages in one go would
+    # evict the handler's entry before reaching it.  Probe in chunks small
+    # enough not to overflow any TLB set, re-priming before each chunk.
+    chunk = 1024
+
+    start_cycles = core.clock.cycles
+    hot_sets = {}
+    for name in syscalls:
+        hot = set()
+        for lo in range(0, len(pages), chunk):
+            core.evict_translation_caches()
+            kernel.syscall(core, name)
+            for va in pages[lo : lo + chunk]:
+                if core.timed_masked_load(va) <= hit_threshold:
+                    hot.add(va)
+        hot_sets[name] = hot
+
+    common = set.intersection(*hot_sets.values()) if hot_sets else set()
+    handler_pages = {}
+    for name, hot in hot_sets.items():
+        unique = sorted(hot - common)
+        handler_pages[name] = unique[0] if len(unique) == 1 else None
+
+    runtime_ms = core.clock.cycles_to_ms(
+        core.clock.elapsed_since(start_cycles)
+    )
+    return TemplateAttackResult(handler_pages, common, len(pages), runtime_ms)

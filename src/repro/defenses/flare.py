@@ -1,0 +1,110 @@
+"""FLARE evaluation (paper Section V-A).
+
+FLARE backs every unmapped kernel address with dummy physical pages, so
+every page-table walk succeeds and the page-table attack (P2/P3) can no
+longer tell the real image from the decoys.  The paper shows the TLB
+attack (P4) still wins: dummy pages are never *executed* by the kernel, so
+after an eviction + syscall prime only genuinely used kernel pages are TLB
+hits.
+"""
+
+from repro.attacks.calibrate import calibrate_store_threshold
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.os.linux import layout
+
+
+class FlareEvaluation:
+    """How each primitive fares against FLARE."""
+
+    __slots__ = (
+        "page_table_base",
+        "page_table_defeated",
+        "tlb_base",
+        "tlb_correct",
+        "hot_slots",
+        "mapped_fraction",
+    )
+
+    def __init__(self, page_table_base, page_table_defeated, tlb_base,
+                 tlb_correct, hot_slots, mapped_fraction):
+        self.page_table_base = page_table_base
+        self.page_table_defeated = page_table_defeated
+        self.tlb_base = tlb_base
+        self.tlb_correct = tlb_correct
+        self.hot_slots = hot_slots
+        self.mapped_fraction = mapped_fraction
+
+    def __repr__(self):
+        return (
+            "FlareEvaluation(page-table defeated={}, TLB correct={})"
+            .format(self.page_table_defeated, self.tlb_correct)
+        )
+
+
+def tlb_kaslr_break(machine, syscall_burst=6, hit_threshold=None,
+                    chunk_slots=16):
+    """The TLB-based KASLR break that bypasses FLARE.
+
+    Evict, run a burst of syscalls (the kernel touches its entry stub and
+    handlers), then single-probe the slots: hits reveal the slots of
+    genuinely executed kernel text.  Probing itself fills TLB entries, so
+    the scan runs in small chunks, re-priming before each -- otherwise the
+    victim's entries would be self-evicted before being measured.
+    """
+    core = machine.core
+    kernel = machine.kernel
+    cpu = machine.cpu
+    if hit_threshold is None:
+        hit_threshold = (
+            cpu.expected_kernel_mapped_load_tlb_hit()
+            + cpu.measurement_overhead + 8
+        )
+
+    hot_slots = []
+    for first in range(0, layout.KERNEL_TEXT_SLOTS, chunk_slots):
+        core.evict_translation_caches()
+        for i in range(syscall_burst):
+            kernel.syscall(
+                core, list(kernel.functions)[i % len(kernel.functions)]
+            )
+        for slot in range(
+            first, min(first + chunk_slots, layout.KERNEL_TEXT_SLOTS)
+        ):
+            va = layout.kernel_base_of_slot(slot)
+            if core.timed_masked_load(va) <= hit_threshold:
+                hot_slots.append(slot)
+    base = layout.kernel_base_of_slot(hot_slots[0]) if hot_slots else None
+    return base, hot_slots
+
+
+def evaluate_flare(machine):
+    """Mount both primitives against a FLARE-enabled kernel."""
+    if not machine.kernel.flare:
+        raise ValueError("evaluate_flare expects a FLARE-enabled machine")
+
+    # 1. the page-table attack sees everything mapped
+    pt_result = break_kaslr_intel(machine)
+    mapped_fraction = len(pt_result.mapped_slots) / layout.KERNEL_TEXT_SLOTS
+    pt_defeated = (
+        pt_result.base != machine.kernel.base or mapped_fraction > 0.9
+    )
+
+    # 2. the TLB attack still reveals the executed kernel
+    tlb_base, hot_slots = tlb_kaslr_break(machine)
+    tlb_correct = tlb_base == machine.kernel.base
+
+    return FlareEvaluation(
+        page_table_base=pt_result.base,
+        page_table_defeated=pt_defeated,
+        tlb_base=tlb_base,
+        tlb_correct=tlb_correct,
+        hot_slots=hot_slots,
+        mapped_fraction=mapped_fraction,
+    )
+
+
+def evaluate_without_flare(machine):
+    """Control run: the page-table attack on an unprotected kernel."""
+    calibration = calibrate_store_threshold(machine)
+    result = break_kaslr_intel(machine, calibration=calibration)
+    return result.base == machine.kernel.base

@@ -1,0 +1,108 @@
+"""The masked-op NOP mitigation and its deployment-impact scan (§V-B).
+
+The proposed hardware/microcode fix: when every mask bit is zero, retire
+the masked load/store as a NOP -- no translation, no assist, no TLB fill.
+``enable_nop_mask_mitigation`` switches a machine's AVX unit into that
+mode; with it on, every probe times identically and all attacks collapse.
+
+The paper argues the fix is cheap because almost nothing uses the masked
+ops: on a default Ubuntu 20.04.3 install only **6 of 4104 executables**
+contain a VMASKMOV/VPMASKMOV.  :class:`BinaryCorpus` reconstructs such a
+corpus (synthetic instruction histograms, deterministic) and the scanner
+reproduces the 6/4104 figure.
+"""
+
+import numpy as np
+
+#: Real-world packages whose builds are known to carry AVX masked ops
+#: (vectorized math/media code) -- used as the corpus's affected binaries.
+AFFECTED_BINARY_NAMES = (
+    "ffmpeg",
+    "gs",
+    "inkview",
+    "openscad",
+    "blender-thumbnailer",
+    "mpv",
+)
+
+#: Instruction mnemonics tracked per synthetic binary.
+TRACKED_MNEMONICS = (
+    "mov", "lea", "add", "call", "jmp", "vmovaps", "vaddps",
+    "vmaskmovps", "vpmaskmovd",
+)
+
+MASKED_MNEMONICS = ("vmaskmovps", "vpmaskmovd")
+
+
+def enable_nop_mask_mitigation(machine):
+    """Turn the zero-mask NOP behaviour on for this machine's core."""
+    machine.core.avx.zero_mask_nop = True
+    return machine
+
+
+class Binary:
+    """One executable: a name and an instruction histogram."""
+
+    __slots__ = ("name", "histogram")
+
+    def __init__(self, name, histogram):
+        self.name = name
+        self.histogram = histogram
+
+    @property
+    def uses_masked_ops(self):
+        return any(self.histogram.get(m, 0) > 0 for m in MASKED_MNEMONICS)
+
+    def __repr__(self):
+        return "Binary({!r})".format(self.name)
+
+
+class BinaryCorpus:
+    """A synthetic distro-install corpus of executables."""
+
+    def __init__(self, binaries):
+        self.binaries = list(binaries)
+
+    @classmethod
+    def ubuntu_default(cls, total=4104, seed=0):
+        """Reconstruct the paper's Ubuntu 20.04.3 default-install corpus."""
+        rng = np.random.default_rng(seed)
+        binaries = []
+        affected = set(AFFECTED_BINARY_NAMES)
+        for index in range(total - len(affected)):
+            histogram = {
+                "mov": int(rng.integers(200, 40000)),
+                "lea": int(rng.integers(50, 9000)),
+                "add": int(rng.integers(50, 8000)),
+                "call": int(rng.integers(30, 6000)),
+                "jmp": int(rng.integers(30, 5000)),
+            }
+            if rng.random() < 0.15:  # plain AVX is common, masked ops rare
+                histogram["vmovaps"] = int(rng.integers(1, 400))
+                histogram["vaddps"] = int(rng.integers(1, 300))
+            binaries.append(Binary("bin-{:04d}".format(index), histogram))
+        for name in sorted(affected):
+            histogram = {
+                "mov": int(rng.integers(5000, 80000)),
+                "vmovaps": int(rng.integers(100, 2000)),
+                "vaddps": int(rng.integers(100, 1500)),
+                "vmaskmovps": int(rng.integers(1, 60)),
+                "vpmaskmovd": int(rng.integers(0, 40)),
+            }
+            binaries.append(Binary(name, histogram))
+        return cls(binaries)
+
+    def scan(self):
+        """Names of binaries that would break if masked ops were removed."""
+        return [b.name for b in self.binaries if b.uses_masked_ops]
+
+    def __len__(self):
+        return len(self.binaries)
+
+
+def mitigation_impact(corpus=None, seed=0):
+    """(affected_count, total, fraction) of the NOP-mask mitigation."""
+    if corpus is None:
+        corpus = BinaryCorpus.ubuntu_default(seed=seed)
+    affected = corpus.scan()
+    return len(affected), len(corpus), len(affected) / len(corpus)

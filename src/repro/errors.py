@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is malformed (non-canonical, unaligned...)."""
+
+
+class MappingError(ReproError):
+    """A page-table mapping operation is invalid (overlap, missing page...)."""
+
+
+class PageFault(ReproError):
+    """Architectural #PF raised by an unsuppressed faulting access.
+
+    Mirrors the x86 page-fault error code semantics that matter here:
+
+    * ``present``  -- the fault was caused by a protection violation on a
+      present page (True) or by a non-present page (False).
+    * ``write``    -- the faulting access was a write.
+    * ``user``     -- the access originated in user mode (CPL 3).
+    """
+
+    def __init__(self, address, present=False, write=False, user=True):
+        self.address = address
+        self.present = present
+        self.write = write
+        self.user = user
+        super().__init__(
+            "#PF at {:#x} (present={}, write={}, user={})".format(
+                address, present, write, user
+            )
+        )
+
+
+class ConfigError(ReproError):
+    """An invalid machine / CPU / OS configuration was requested."""
+
+
+class AttackError(ReproError):
+    """An attack could not run in the requested environment."""

@@ -1,0 +1,32 @@
+"""A minimal x86-64 + AVX2 subset: assemble and run PoC attack kernels.
+
+The paper's threat model is "an unprivileged attacker that executes
+arbitrary instructions"; its artifact is a proof-of-concept program.
+This package provides the same experience against the simulator: write
+the probe loop in (a small subset of) x86 assembly, assemble it, and run
+it on a :class:`~repro.cpu.core.Core` -- the masked ops go through the
+very same AVX unit the high-level attacks use.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.executor import ExecutionError, Executor, Program
+from repro.isa.programs import (
+    DOUBLE_PROBE_POC,
+    STORE_CALIBRATION_POC,
+    run_double_probe_poc,
+    run_store_calibration_poc,
+)
+from repro.isa.registers import RegisterFile
+
+__all__ = [
+    "AssemblyError",
+    "DOUBLE_PROBE_POC",
+    "ExecutionError",
+    "Executor",
+    "Program",
+    "RegisterFile",
+    "STORE_CALIBRATION_POC",
+    "assemble",
+    "run_double_probe_poc",
+    "run_store_calibration_poc",
+]

@@ -1,0 +1,188 @@
+"""Two-pass assembler for the PoC subset.
+
+Supported syntax (one instruction per line, ``;`` comments, labels end
+with ``:``)::
+
+    mov   rax, 0xffffffff80000000   ; imm64 or register
+    add   rax, rbx                  ; add/sub with imm or reg
+    cmp   rcx, 512
+    jmp   loop                      ; jmp/je/jne/jl/jge to a label
+    rdtsc                           ; rax <- low 32, rdx <- high 32
+    lfence
+    nop
+    vpxor     ymm0, ymm0, ymm0      ; the all-zero mask idiom
+    vpcmpeqd  ymm1, ymm1, ymm1      ; the all-ones mask idiom
+    vpmaskmovd ymm2, ymm0, [rax]       ; masked load
+    vpmaskmovd [rax+8], ymm0, ymm2     ; masked store
+    ret
+"""
+
+import re
+
+from repro.isa.registers import RegisterFile
+
+MNEMONICS = {
+    "mov", "add", "sub", "cmp", "shl", "or", "and", "xor", "test",
+    "inc", "dec", "jmp", "je", "jne", "jl", "jge", "rdtsc", "lfence",
+    "nop", "ret", "vpxor", "vpcmpeqd", "vpmaskmovd",
+}
+
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<base>[a-z0-9]+)\s*(?:(?P<sign>[+-])\s*(?P<disp>\w+)\s*)?\]$"
+)
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly source."""
+
+    def __init__(self, message, line_number=None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = "line {}: {}".format(line_number, message)
+        super().__init__(message)
+
+
+class Operand:
+    """A parsed operand: register, immediate, memory ref, or label."""
+
+    __slots__ = ("kind", "value", "base", "displacement")
+
+    def __init__(self, kind, value=None, base=None, displacement=0):
+        self.kind = kind          # "gpr" | "ymm" | "imm" | "mem" | "label"
+        self.value = value
+        self.base = base
+        self.displacement = displacement
+
+    def __repr__(self):
+        if self.kind == "mem":
+            return "Operand([{}+{}])".format(self.base, self.displacement)
+        return "Operand({}:{})".format(self.kind, self.value)
+
+
+class Instruction:
+    """One decoded instruction."""
+
+    __slots__ = ("mnemonic", "operands", "line_number", "source")
+
+    def __init__(self, mnemonic, operands, line_number, source):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_number = line_number
+        self.source = source
+
+    def __repr__(self):
+        return "Instruction({!r})".format(self.source)
+
+
+def _parse_int(text, line_number):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError("bad integer {!r}".format(text), line_number)
+
+
+def _parse_operand(text, line_number):
+    text = text.strip()
+    if not text:
+        raise AssemblyError("empty operand", line_number)
+    memory = _MEM_RE.match(text)
+    if memory:
+        base = memory.group("base")
+        if not RegisterFile.is_gpr(base):
+            raise AssemblyError(
+                "memory base must be a GPR, got {!r}".format(base),
+                line_number,
+            )
+        displacement = 0
+        if memory.group("disp"):
+            displacement = _parse_int(memory.group("disp"), line_number)
+            if memory.group("sign") == "-":
+                displacement = -displacement
+        return Operand("mem", base=base, displacement=displacement)
+    if RegisterFile.is_gpr(text):
+        return Operand("gpr", value=text)
+    if RegisterFile.is_ymm(text):
+        return Operand("ymm", value=text)
+    if re.match(r"^-?(0x[0-9a-fA-F]+|\d+)$", text):
+        return Operand("imm", value=_parse_int(text, line_number))
+    if re.match(r"^[A-Za-z_.][\w.]*$", text):
+        return Operand("label", value=text)
+    raise AssemblyError("unparseable operand {!r}".format(text), line_number)
+
+
+_ARITY = {
+    "mov": 2, "add": 2, "sub": 2, "cmp": 2, "shl": 2, "or": 2,
+    "and": 2, "xor": 2, "test": 2, "inc": 1, "dec": 1,
+    "jmp": 1, "je": 1, "jne": 1, "jl": 1, "jge": 1,
+    "rdtsc": 0, "lfence": 0, "nop": 0, "ret": 0,
+    "vpxor": 3, "vpcmpeqd": 3, "vpmaskmovd": 3,
+}
+
+
+def assemble(source):
+    """Assemble ``source`` text into (instructions, labels).
+
+    ``labels`` maps label names to instruction indices.  Branch targets
+    are validated during this pass (two-pass assembly).
+    """
+    instructions = []
+    labels = {}
+    pending = []
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            head, __, rest = line.partition(":")
+            head = head.strip()
+            if not re.match(r"^[A-Za-z_.][\w.]*$", head):
+                raise AssemblyError(
+                    "bad label {!r}".format(head), line_number
+                )
+            if head in labels:
+                raise AssemblyError(
+                    "duplicate label {!r}".format(head), line_number
+                )
+            labels[head] = len(instructions)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(
+                "unknown mnemonic {!r}".format(mnemonic), line_number
+            )
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = (
+            [_parse_operand(op, line_number)
+             for op in operand_text.split(",")]
+            if operand_text.strip() else []
+        )
+        if len(operands) != _ARITY[mnemonic]:
+            raise AssemblyError(
+                "{} takes {} operands, got {}".format(
+                    mnemonic, _ARITY[mnemonic], len(operands)
+                ),
+                line_number,
+            )
+        if mnemonic in ("jmp", "je", "jne", "jl", "jge"):
+            if operands[0].kind != "label":
+                raise AssemblyError(
+                    "branch target must be a label", line_number
+                )
+            pending.append((operands[0].value, line_number))
+        instructions.append(
+            Instruction(mnemonic, operands, line_number, line)
+        )
+
+    for target, line_number in pending:
+        if target not in labels:
+            raise AssemblyError(
+                "undefined label {!r}".format(target), line_number
+            )
+    return instructions, labels

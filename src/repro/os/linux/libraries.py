@@ -1,0 +1,147 @@
+"""Shared-library section layouts used as identification signatures.
+
+The paper's fine-grained user ASLR break (Section IV-F, Figure 7) observes
+that loaded libraries consist of consecutive sections whose permissions
+appear in the order ``r-x``, ``---``, ``r--``, ``rw-`` and uses the section
+*sizes* as signatures.  This module reconstructs the Ubuntu 18.04 glibc-era
+layouts the paper probed.
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class Section:
+    """One contiguous same-permission region of a mapped image."""
+
+    __slots__ = ("name", "pages", "perms")
+
+    def __init__(self, name, pages, perms):
+        if perms not in ("r-x", "r--", "rw-", "---"):
+            raise ValueError("unsupported section permissions " + perms)
+        self.name = name
+        self.pages = pages
+        self.perms = perms
+
+    @property
+    def size(self):
+        return self.pages * PAGE_SIZE
+
+    def __repr__(self):
+        return "Section({!r}, {} pages, {})".format(
+            self.name, self.pages, self.perms
+        )
+
+
+class LibraryImage:
+    """An ELF shared object as the loader maps it."""
+
+    def __init__(self, name, sections):
+        self.name = name
+        self.sections = list(sections)
+
+    @property
+    def total_pages(self):
+        return sum(section.pages for section in self.sections)
+
+    def signature(self):
+        """The (perms, pages) sequence an attacker can measure (P2 + P5)."""
+        return tuple((s.perms, s.pages) for s in self.sections)
+
+    def load_signature(self):
+        """Signature as observable by a masked-load-only probe, which cannot
+        tell r-x / r-- / rw- apart (Figure 3): mapped page-run lengths."""
+        runs = []
+        current = 0
+        for section in self.sections:
+            if section.perms == "---":
+                if current:
+                    runs.append(current)
+                current = 0
+            else:
+                current += section.pages
+        if current:
+            runs.append(current)
+        return tuple(runs)
+
+    def __repr__(self):
+        return "LibraryImage({!r}, {} pages)".format(
+            self.name, self.total_pages
+        )
+
+
+def _lib(name, *spec):
+    return LibraryImage(
+        name, [Section(n, pages, perms) for n, pages, perms in spec]
+    )
+
+
+#: Ubuntu 18.04.3 (glibc 2.27 era) library layouts.  The large ``---`` hole
+#: between text and data is the loader's alignment gap the paper's Figure 7
+#: shows for libc.
+LIBRARY_CATALOG = {
+    "libc.so.6": _lib(
+        "libc.so.6",
+        (".text", 437, "r-x"),
+        ("gap", 511, "---"),
+        (".rodata/relro", 4, "r--"),
+        (".data/.bss", 2, "rw-"),
+    ),
+    "ld-linux-x86-64.so.2": _lib(
+        "ld-linux-x86-64.so.2",
+        (".text", 39, "r-x"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 1, "rw-"),
+    ),
+    "libpthread.so.0": _lib(
+        "libpthread.so.0",
+        (".text", 24, "r-x"),
+        ("gap", 511, "---"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 5, "rw-"),
+    ),
+    "libdl.so.2": _lib(
+        "libdl.so.2",
+        (".text", 3, "r-x"),
+        ("gap", 511, "---"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 1, "rw-"),
+    ),
+    "libm.so.6": _lib(
+        "libm.so.6",
+        (".text", 395, "r-x"),
+        ("gap", 509, "---"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 1, "rw-"),
+    ),
+    "libstdc++.so.6": _lib(
+        "libstdc++.so.6",
+        (".text", 372, "r-x"),
+        ("gap", 512, "---"),
+        (".rodata/relro", 11, "r--"),
+        (".data/.bss", 2, "rw-"),
+    ),
+    "librt.so.1": _lib(
+        "librt.so.1",
+        (".text", 7, "r-x"),
+        ("gap", 510, "---"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 1, "rw-"),
+    ),
+    "libgcc_s.so.1": _lib(
+        "libgcc_s.so.1",
+        (".text", 23, "r-x"),
+        ("gap", 508, "---"),
+        (".rodata/relro", 1, "r--"),
+        (".data/.bss", 1, "rw-"),
+    ),
+}
+
+
+def default_library_set():
+    """Libraries a minimal dynamically linked process maps, load order."""
+    return [
+        LIBRARY_CATALOG["libc.so.6"],
+        LIBRARY_CATALOG["libpthread.so.0"],
+        LIBRARY_CATALOG["libdl.so.2"],
+        LIBRARY_CATALOG["ld-linux-x86-64.so.2"],
+    ]

@@ -1,0 +1,154 @@
+"""Kernel-module catalog mirroring the paper's Ubuntu 18.04.3 testbed.
+
+The paper's module-identification attack (Section IV-C, Figure 5, Table I)
+ran on a machine with **125 loaded modules, of which 19 have a unique
+size** (in mapped pages).  This catalog reconstructs that structure with
+real Ubuntu driver names:
+
+* ``video``, ``mac_hid`` and ``pinctrl_icelake`` have unique sizes and are
+  therefore identifiable (Figure 5),
+* ``autofs4`` and ``x_tables`` map the same number of pages and are
+  therefore ambiguous (Figure 5),
+* ``bluetooth`` and ``psmouse`` (the behaviour-inference targets of
+  Section IV-E) are among the uniquely sized modules so the spy can find
+  them by size alone.
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class ModuleInfo:
+    """Name and size of one loadable kernel module."""
+
+    __slots__ = ("name", "size_bytes")
+
+    def __init__(self, name, size_bytes):
+        self.name = name
+        self.size_bytes = size_bytes
+
+    @property
+    def pages(self):
+        """Mapped 4 KiB pages (what the probing attack can observe)."""
+        return -(-self.size_bytes // PAGE_SIZE)
+
+    def __repr__(self):
+        return "ModuleInfo({!r}, {} pages)".format(self.name, self.pages)
+
+
+def _m(name, pages):
+    return ModuleInfo(name, pages * PAGE_SIZE)
+
+
+#: The 19 uniquely-sized modules (page counts used by no other module).
+_UNIQUE = [
+    _m("video", 13),
+    _m("mac_hid", 18),
+    _m("pinctrl_icelake", 21),
+    _m("bluetooth", 136),
+    _m("psmouse", 42),
+    _m("i915", 712),
+    _m("mac80211", 247),
+    _m("iwlmvm", 131),
+    _m("cfg80211", 193),
+    _m("iwlwifi", 95),
+    _m("snd_hda_intel", 17),
+    _m("snd_hda_codec", 39),
+    _m("nvme", 29),
+    _m("btusb", 15),
+    _m("e1000e", 55),
+    _m("snd_soc_core", 64),
+    _m("drm_kms_helper", 87),
+    _m("thunderbolt", 110),
+    _m("nf_tables", 160),
+]
+
+#: Modules sharing a page count with at least one other module.
+_SHARED = [
+    # -- 4-page cluster (30 modules) --------------------------------------
+    _m("coretemp", 4), _m("crc32_pclmul", 4), _m("cryptd", 4),
+    _m("intel_cstate", 4), _m("intel_rapl_perf", 4), _m("joydev", 4),
+    _m("wmi_bmof", 4), _m("intel_wmi_thunderbolt", 4), _m("mei_hdcp", 4),
+    _m("ucsi_acpi", 4), _m("typec_ucsi", 4), _m("int3403_thermal", 4),
+    _m("int340x_thermal_zone", 4), _m("intel_soc_dts_iosf", 4),
+    _m("intel_pch_thermal", 4), _m("serio_raw", 4), _m("rfkill", 4),
+    _m("llc", 4), _m("stp", 4), _m("input_leds", 4),
+    _m("hid_generic", 4), _m("btrtl", 4), _m("btbcm", 4),
+    _m("btintel", 4), _m("ecc", 4), _m("ecdh_generic", 4),
+    _m("xt_tcpudp", 4), _m("xt_conntrack", 4), _m("nf_defrag_ipv4", 4),
+    _m("nf_defrag_ipv6", 4),
+    # -- 5-page cluster (16) ----------------------------------------------
+    _m("snd_seq_midi", 5), _m("snd_seq_midi_event", 5), _m("snd_rawmidi", 5),
+    _m("snd_timer", 5), _m("snd_hwdep", 5), _m("glue_helper", 5),
+    _m("crct10dif_pclmul", 5), _m("ghash_clmulni_intel", 5),
+    _m("iptable_filter", 5), _m("iptable_nat", 5), _m("ip6table_filter", 5),
+    _m("bridge", 5), _m("bpfilter", 5), _m("msr", 5),
+    _m("parport_pc", 5), _m("ppdev", 5),
+    # -- 6-page cluster (14) ----------------------------------------------
+    _m("snd_seq", 6), _m("snd_seq_device", 6), _m("mei_me", 6),
+    _m("mei", 6), _m("processor_thermal_device", 6), _m("idma64", 6),
+    _m("virt_dma", 6), _m("intel_lpss_pci", 6), _m("intel_lpss", 6),
+    _m("i2c_algo_bit", 6), _m("fb_sys_fops", 6), _m("syscopyarea", 6),
+    _m("sysfillrect", 6), _m("sysimgblt", 6),
+    # -- 7-page cluster (10) ----------------------------------------------
+    _m("aesni_intel", 7), _m("crypto_simd", 7), _m("sdhci_pci", 7),
+    _m("cqhci", 7), _m("sdhci", 7), _m("intel_rapl_msr", 7),
+    _m("intel_rapl_common", 7), _m("x86_pkg_temp_thermal", 7),
+    _m("soundwire_bus", 7), _m("soundwire_generic_allocation", 7),
+    # -- 8-page cluster (12) ----------------------------------------------
+    _m("snd_pcm", 8), _m("snd", 8), _m("soundcore", 8),
+    _m("kvm_intel", 8), _m("kvm", 8), _m("irqbypass", 8),
+    _m("rapl", 8), _m("efi_pstore", 8), _m("lpc_ich", 8),
+    _m("wmi", 8), _m("acpi_pad", 8), _m("acpi_tad", 8),
+    # -- 9-page cluster (4) -----------------------------------------------
+    _m("nls_iso8859_1", 9), _m("usbhid", 9), _m("hid", 9),
+    _m("i2c_i801", 9),
+    # -- 10-page cluster (6) ----------------------------------------------
+    _m("ahci", 10), _m("libahci", 10), _m("intel_th_gth", 10),
+    _m("intel_th_pci", 10), _m("intel_th", 10), _m("pmt_telemetry", 10),
+    # -- 11-page cluster: the Figure 5 ambiguous pair -----------------------
+    _m("autofs4", 11), _m("x_tables", 11),
+    # -- 12-page cluster (4) ----------------------------------------------
+    _m("ip_tables", 12), _m("nf_nat", 12), _m("overlay", 12),
+    _m("binfmt_misc", 12),
+    # -- 16-page cluster (4) ----------------------------------------------
+    _m("snd_hda_codec_realtek", 16), _m("snd_hda_codec_generic", 16),
+    _m("snd_hda_codec_hdmi", 16), _m("snd_hda_core", 16),
+    # -- 3-page cluster (2) -----------------------------------------------
+    _m("fat", 3), _m("vfat", 3),
+    # -- 20-page cluster (2) ----------------------------------------------
+    _m("nf_conntrack", 20), _m("netfilter_xtables_compat", 20),
+]
+
+#: Full catalog: 125 modules, 19 unique page counts.
+MODULE_CATALOG = tuple(_UNIQUE + _SHARED)
+
+
+def default_module_set():
+    """Return the full 125-module load set, in load order."""
+    return list(MODULE_CATALOG)
+
+
+def by_name(name, catalog=MODULE_CATALOG):
+    """Look a module up by name."""
+    for module in catalog:
+        if module.name == name:
+            return module
+    raise KeyError("module {!r} not in catalog".format(name))
+
+
+def page_count_histogram(catalog=MODULE_CATALOG):
+    """Map of page count -> list of module names with that footprint."""
+    histogram = {}
+    for module in catalog:
+        histogram.setdefault(module.pages, []).append(module.name)
+    return histogram
+
+
+def uniquely_sized(catalog=MODULE_CATALOG):
+    """Modules whose page count is unique in the catalog (identifiable)."""
+    histogram = page_count_histogram(catalog)
+    return [
+        by_name(names[0], catalog)
+        for pages, names in sorted(histogram.items())
+        if len(names) == 1
+    ]

@@ -1,0 +1,108 @@
+"""Text-format procfs views, as a real PoC would read and parse them.
+
+The attacks consume structured data from the OS layer directly; these
+helpers render (and parse back) the classic text formats so examples and
+tests can exercise the exact byte-level interface an unprivileged
+attacker has:
+
+* ``/proc/modules``      -- world-readable; the size column drives the
+  module-identification attack.  Addresses render as 0x0 for
+  unprivileged readers (``kptr_restrict``), faithfully reproducing why
+  the attack must *infer* them.
+* ``/proc/kallsyms``     -- symbols render zeroed for unprivileged
+  readers too; the privileged view is ground truth for verification.
+* ``/proc/PID/maps``     -- the user-space layout the Figure 7 attack is
+  benchmarked against.
+"""
+
+from repro.mmu.address import PAGE_SIZE
+
+
+def render_proc_modules(kernel, privileged=False):
+    """The /proc/modules text: `name size refcnt deps state address`."""
+    lines = []
+    for name, size_bytes in kernel.proc_modules():
+        address = kernel.module_map[name][0] if privileged else 0
+        lines.append("{} {} 1 - Live 0x{:016x}".format(
+            name, size_bytes, address
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def parse_proc_modules(text):
+    """Parse /proc/modules text into [(name, size_bytes, address)]."""
+    entries = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        fields = line.split()
+        if len(fields) < 6:
+            raise ValueError("malformed /proc/modules line: " + line)
+        entries.append(
+            (fields[0], int(fields[1]), int(fields[5], 16))
+        )
+    return entries
+
+
+def render_kallsyms(kernel, privileged=False):
+    """The /proc/kallsyms text: `address type name`."""
+    lines = []
+    for name, address in sorted(
+        kernel.kallsyms().items(), key=lambda item: item[1]
+    ):
+        shown = address if privileged else 0
+        kind = "T" if name.startswith(("sys_", "entry_", "_text")) else "t"
+        lines.append("{:016x} {} {}".format(shown, kind, name))
+    return "\n".join(lines) + "\n"
+
+
+def parse_kallsyms(text):
+    """Parse kallsyms text into {name: address}."""
+    symbols = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        fields = line.split()
+        if len(fields) < 3:
+            raise ValueError("malformed kallsyms line: " + line)
+        symbols[fields[2]] = int(fields[0], 16)
+    return symbols
+
+
+def render_maps(process):
+    """The /proc/PID/maps text for a process's visible regions."""
+    lines = []
+    for region in process.maps():
+        perms = region.perms + "p"  # private mappings
+        lines.append(
+            "{:012x}-{:012x} {} 00000000 00:00 0 {}".format(
+                region.start, region.end, perms,
+                region.name or "",
+            ).rstrip()
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_maps(text):
+    """Parse maps text into [(start, end, perms, name)]."""
+    regions = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        fields = line.split(None, 5)
+        addresses, perms = fields[0], fields[1]
+        start_text, __, end_text = addresses.partition("-")
+        name = fields[5] if len(fields) > 5 else ""
+        regions.append(
+            (int(start_text, 16), int(end_text, 16), perms[:3], name)
+        )
+    return regions
+
+
+def module_sizes_from_proc(kernel):
+    """What an unprivileged attacker actually extracts: name -> pages."""
+    text = render_proc_modules(kernel, privileged=False)
+    return {
+        name: -(-size // PAGE_SIZE)
+        for name, size, __ in parse_proc_modules(text)
+    }

@@ -1,0 +1,5 @@
+"""Simulated Intel SGX enclaves (paper Section IV-F)."""
+
+from repro.os.sgx.enclave import Enclave
+
+__all__ = ["Enclave"]

@@ -1,0 +1,60 @@
+"""SGX enclave model.
+
+The paper uses an enclave as the *attacker's* vantage point: code inside an
+enclave cannot read ``/proc/self/maps``, so to mount a code-reuse attack it
+must derandomize its own host process's layout -- which the AVX probe does,
+because masked loads/stores executed inside the enclave still translate
+through the host page tables.  SGX2 matters because it allows RDTSC/RDTSCP
+inside the enclave (the paper's high-precision timer note).
+"""
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mmu.address import PAGE_SIZE
+
+
+class Enclave:
+    """An enclave living inside a host process's address space."""
+
+    def __init__(self, process, code_pages=16, data_pages=48, sgx2=True,
+                 rng=None, seed=0):
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.process = process
+        self.sgx2 = sgx2
+
+        #: ELRANGE: a power-of-two region the loader reserves via mmap.
+        total = code_pages + data_pages
+        elrange_pages = 1
+        while elrange_pages < total * 2:
+            elrange_pages *= 2
+        self.elrange_pages = elrange_pages
+        self.elrange_base = process.mmap(
+            elrange_pages, perms="---", name="sgx/elrange"
+        )
+
+        #: Fine-grained in-enclave ASLR: the code section lands at a random
+        #: page offset inside ELRANGE (what Section IV-F breaks).
+        max_offset = elrange_pages - total
+        code_offset = int(rng.integers(1, max_offset))
+        self.code_base = self.elrange_base + code_offset * PAGE_SIZE
+        self.code_pages = code_pages
+        self.data_base = self.code_base + code_pages * PAGE_SIZE
+        self.data_pages = data_pages
+
+        process.mprotect(self.elrange_base, elrange_pages, "---")
+        # carve the enclave pages out of the reserved hole
+        process.munmap(self.elrange_base, elrange_pages)
+        process.mmap(code_pages, perms="r-x", addr=self.code_base,
+                     name="sgx/code")
+        process.mmap(data_pages, perms="rw-", addr=self.data_base,
+                     name="sgx/data")
+
+    def require_timer(self):
+        """The attack needs RDTSC inside the enclave (SGX2 only)."""
+        if not self.sgx2:
+            raise ConfigError(
+                "SGX1 enclaves cannot execute RDTSC; the paper's attack "
+                "requires SGX2"
+            )

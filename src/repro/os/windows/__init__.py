@@ -1,0 +1,5 @@
+"""Simulated Windows 10: kernel layout, KASLR, KVA Shadow (KVAS)."""
+
+from repro.os.windows.kernel import WindowsKernel, layout
+
+__all__ = ["WindowsKernel", "layout"]

@@ -1,0 +1,240 @@
+"""JSON-driven experiment scenarios.
+
+A scenario file describes one victim machine, one attack, and the
+expectations against ground truth -- so experiments are shareable data
+rather than code.  The repository ships one scenario per paper
+experiment under ``scenarios/``; run them with::
+
+    python -m repro scenario scenarios/table1_alderlake.json
+    python -m repro suite scenarios/
+
+Schema::
+
+    {
+      "name": "...",
+      "description": "...",
+      "machine": {"os": "linux" | "windows" | "cloud", ...factory args},
+      "attack": {"kind": "<attack>", ...attack args},
+      "expect": {"correct": true, "max_total_ms": 1.0, ...}
+    }
+"""
+
+import json
+import pathlib
+
+from repro.errors import ConfigError
+from repro.machine import Machine
+
+#: attack kinds -> runner(machine, params) -> dict of observations
+_ATTACKS = {}
+
+
+def _attack(name):
+    def register(fn):
+        _ATTACKS[name] = fn
+        return fn
+    return register
+
+
+@_attack("kaslr")
+def _run_kaslr(machine, params):
+    from repro.attacks.kaslr_break import break_kaslr
+
+    result = break_kaslr(machine, rounds=params.get("rounds"))
+    return {
+        "correct": result.base == machine.kernel.base,
+        "base": result.base,
+        "method": result.method,
+        "probing_ms": result.probing_ms,
+        "total_ms": result.total_ms,
+    }
+
+
+@_attack("modules")
+def _run_modules(machine, params):
+    from repro.attacks.module_detect import detect_modules, region_accuracy
+
+    result = detect_modules(machine, rounds=params.get("rounds"))
+    return {
+        "correct": region_accuracy(result, machine.kernel) >= params.get(
+            "min_accuracy", 0.98
+        ),
+        "identified": len(result.identified),
+        "regions": len(result.regions),
+        "probing_ms": result.probing_ms,
+        "total_ms": result.total_ms,
+    }
+
+
+@_attack("kpti")
+def _run_kpti(machine, params):
+    from repro.attacks.kpti_break import break_kaslr_kpti
+
+    result = break_kaslr_kpti(
+        machine, trampoline_offset=params.get("trampoline_offset")
+    )
+    return {
+        "correct": result.base == machine.kernel.base,
+        "base": result.base,
+        "probing_ms": result.probing_ms,
+        "total_ms": result.total_ms,
+    }
+
+
+@_attack("windows-region")
+def _run_windows_region(machine, params):
+    from repro.attacks.windows_break import find_kernel_region
+
+    result = find_kernel_region(machine)
+    return {
+        "correct": result.base == machine.kernel.base,
+        "base": result.base,
+        "bits": result.derandomized_bits,
+        "probing_seconds": result.probing_seconds,
+    }
+
+
+@_attack("windows-kvas")
+def _run_windows_kvas(machine, params):
+    from repro.attacks.windows_break import find_kvas_region
+
+    result = find_kvas_region(machine)
+    return {
+        "correct": result.base == machine.kernel.base,
+        "base": result.base,
+        "probing_seconds": result.probing_seconds,
+    }
+
+
+@_attack("user-scan")
+def _run_user_scan(machine, params):
+    from repro.attacks.userspace import find_user_code_base
+
+    result = find_user_code_base(machine)
+    return {
+        "correct": result.base == machine.process.text_base,
+        "base": result.base,
+        "probing_seconds": result.probing_seconds,
+    }
+
+
+@_attack("sgx")
+def _run_sgx(machine, params):
+    from repro.attacks.sgx_break import break_aslr_from_enclave
+
+    machine.create_enclave()
+    result = break_aslr_from_enclave(
+        machine, identify=params.get("identify", False)
+    )
+    return {
+        "correct": result.code_base == machine.process.text_base,
+        "load_seconds": result.load_seconds,
+        "store_seconds": result.store_seconds,
+    }
+
+
+@_attack("fingerprint")
+def _run_fingerprint(machine, params):
+    from repro.attacks.fingerprint import ApplicationFingerprinter
+    from repro.workloads.apps import APP_CATALOG, ApplicationWorkload
+
+    app = params.get("app", "video-call")
+    spy = ApplicationFingerprinter(machine)
+    workload = ApplicationWorkload(app, seed=params.get("victim_seed", 1))
+    guess, __, __ = spy.identify(
+        workload, list(APP_CATALOG.values()),
+        intervals=params.get("intervals", 20),
+    )
+    return {"correct": guess == app, "guess": guess, "truth": app}
+
+
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    __slots__ = ("name", "passed", "observations", "violations")
+
+    def __init__(self, name, passed, observations, violations):
+        self.name = name
+        self.passed = passed
+        self.observations = observations
+        self.violations = violations
+
+    def __repr__(self):
+        return "ScenarioResult({!r}, {})".format(
+            self.name, "PASS" if self.passed else "FAIL"
+        )
+
+
+def _build_machine(spec):
+    spec = dict(spec)
+    os_family = spec.pop("os", "linux")
+    if os_family == "linux":
+        return Machine.linux(**spec)
+    if os_family == "windows":
+        return Machine.windows(**spec)
+    if os_family == "cloud":
+        return Machine.cloud(spec.pop("provider"), **spec)
+    raise ConfigError("unknown machine os {!r}".format(os_family))
+
+
+def _check_expectations(expect, observations):
+    violations = []
+    for key, wanted in expect.items():
+        if key.startswith("max_"):
+            field = key[4:]
+            actual = observations.get(field)
+            if actual is None or actual > wanted:
+                violations.append(
+                    "{} = {} exceeds {}".format(field, actual, wanted)
+                )
+        elif key.startswith("min_"):
+            field = key[4:]
+            actual = observations.get(field)
+            if actual is None or actual < wanted:
+                violations.append(
+                    "{} = {} below {}".format(field, actual, wanted)
+                )
+        else:
+            actual = observations.get(key)
+            if actual != wanted:
+                violations.append(
+                    "{} = {!r}, expected {!r}".format(key, actual, wanted)
+                )
+    return violations
+
+
+def run_scenario(scenario):
+    """Run one scenario (dict, JSON text, or file path)."""
+    if isinstance(scenario, (str, pathlib.Path)):
+        path = pathlib.Path(scenario)
+        scenario = json.loads(path.read_text())
+    for field in ("name", "machine", "attack"):
+        if field not in scenario:
+            raise ConfigError(
+                "scenario is missing the {!r} field".format(field)
+            )
+    attack_spec = dict(scenario["attack"])
+    kind = attack_spec.pop("kind", None)
+    if kind not in _ATTACKS:
+        raise ConfigError(
+            "unknown attack kind {!r}; known: {}".format(
+                kind, ", ".join(sorted(_ATTACKS))
+            )
+        )
+    machine = _build_machine(scenario["machine"])
+    observations = _ATTACKS[kind](machine, attack_spec)
+    violations = _check_expectations(
+        scenario.get("expect", {}), observations
+    )
+    return ScenarioResult(
+        scenario["name"], not violations, observations, violations
+    )
+
+
+def run_suite(directory):
+    """Run every ``*.json`` scenario in a directory, sorted by name."""
+    directory = pathlib.Path(directory)
+    results = []
+    for path in sorted(directory.glob("*.json")):
+        results.append(run_scenario(path))
+    return results

@@ -1,0 +1,32 @@
+"""Victim workloads that drive kernel-module activity."""
+
+from repro.workloads.apps import (
+    APP_CATALOG,
+    SENTINEL_MODULES,
+    ApplicationProfile,
+    ApplicationWorkload,
+)
+from repro.workloads.background import InterferenceHarness, NoisyNeighbor
+from repro.workloads.events import (
+    BluetoothStreaming,
+    CompositeWorkload,
+    IdleWorkload,
+    KeystrokeBursts,
+    ModuleWorkload,
+    MouseActivity,
+)
+
+__all__ = [
+    "APP_CATALOG",
+    "ApplicationProfile",
+    "ApplicationWorkload",
+    "InterferenceHarness",
+    "NoisyNeighbor",
+    "SENTINEL_MODULES",
+    "BluetoothStreaming",
+    "CompositeWorkload",
+    "IdleWorkload",
+    "KeystrokeBursts",
+    "ModuleWorkload",
+    "MouseActivity",
+]

@@ -1,0 +1,84 @@
+"""Application workloads for fingerprinting (paper Section IV-E outlook).
+
+The paper closes its behaviour-inference section with "we believe that
+our attack will likely be extended ... to fingerprint applications or
+websites".  Each application here is a stochastic usage profile over
+kernel modules: in every sampling interval it touches each module with a
+characteristic probability.  Seeded RNG, so runs are reproducible.
+"""
+
+import numpy as np
+
+
+class ApplicationProfile:
+    """Which modules an application exercises, and how often."""
+
+    __slots__ = ("name", "module_rates")
+
+    def __init__(self, name, module_rates):
+        self.name = name
+        self.module_rates = dict(module_rates)
+
+    def __repr__(self):
+        return "ApplicationProfile({!r})".format(self.name)
+
+
+#: Applications with distinguishable kernel-module footprints.  All
+#: referenced modules exist in the default catalog and have unique sizes,
+#: so the spy can locate every sentinel by the Section IV-C attack.
+APP_CATALOG = {
+    "video-call": ApplicationProfile("video-call", {
+        "bluetooth": 0.85,        # headset audio
+        "snd_hda_intel": 0.9,
+        "iwlmvm": 0.8,            # wifi uplink
+        "video": 0.7,
+    }),
+    "file-transfer": ApplicationProfile("file-transfer", {
+        "e1000e": 0.95,           # wired NIC
+        "nvme": 0.85,
+        "iwlmvm": 0.1,
+    }),
+    "music-player": ApplicationProfile("music-player", {
+        "snd_hda_intel": 0.95,
+        "nvme": 0.3,
+        "psmouse": 0.15,
+    }),
+    "gaming": ApplicationProfile("gaming", {
+        "psmouse": 0.95,
+        "snd_hda_intel": 0.75,
+        "video": 0.6,
+        "nvme": 0.2,
+    }),
+    "idle": ApplicationProfile("idle", {}),
+}
+
+#: The sentinel modules a fingerprinting spy watches.
+SENTINEL_MODULES = (
+    "bluetooth", "psmouse", "snd_hda_intel", "iwlmvm", "video",
+    "e1000e", "nvme",
+)
+
+
+class ApplicationWorkload:
+    """Drives a machine's kernel according to an application profile."""
+
+    def __init__(self, profile, rng=None, seed=0, pages_touched=6):
+        if isinstance(profile, str):
+            profile = APP_CATALOG[profile]
+        self.profile = profile
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.rng = rng
+        self.pages_touched = pages_touched
+
+    def deliver(self, machine, t_start, t_end):
+        """One interval of app activity: touch modules per their rates."""
+        for module, rate in self.profile.module_rates.items():
+            if self.rng.random() < rate:
+                machine.kernel.touch_module(
+                    machine.core, module, self.pages_touched
+                )
+
+    def is_active(self, t_start, t_end=None):
+        """An app workload is 'active' whenever it uses any module."""
+        return bool(self.profile.module_rates)

@@ -1,0 +1,73 @@
+"""Background interference: co-resident activity polluting the caches.
+
+The paper's cloud experiments run next to noisy neighbours; beyond the
+extra RDTSC jitter (modelled in the CPU noise parameters), co-residents
+also *evict TLB entries* between the attacker's probes.  These workloads
+inject that structural interference so robustness can be measured, not
+assumed.
+"""
+
+import numpy as np
+
+from repro.mmu.address import PAGE_SIZE
+
+
+class NoisyNeighbor:
+    """A co-resident process thrashing memory between attack steps.
+
+    ``pressure`` is the expected number of distinct pages it touches per
+    ``run()`` call; touching goes through the normal access path, so it
+    displaces TLB/paging-line state exactly as real contention would.
+    """
+
+    def __init__(self, machine, pressure=32, footprint_pages=2048,
+                 rng=None, seed=0):
+        self.machine = machine
+        self.core = machine.core
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.rng = rng
+        self.pressure = pressure
+        if machine.process is None:
+            raise ValueError("NoisyNeighbor needs a process to mmap into")
+        self.base = machine.process.mmap(
+            footprint_pages, "rw-", name="neighbor-heap"
+        )
+        self.footprint_pages = footprint_pages
+
+    def run(self):
+        """One burst of neighbour activity."""
+        count = self.rng.poisson(self.pressure)
+        for index in self.rng.integers(0, self.footprint_pages, count):
+            self.core.masked_load(self.base + int(index) * PAGE_SIZE)
+
+    def interleave(self, probe_fn, *args, **kwargs):
+        """Run a burst, then the victim probe (per-measurement pattern)."""
+        self.run()
+        return probe_fn(*args, **kwargs)
+
+
+class InterferenceHarness:
+    """Measures an attack's success under increasing neighbour pressure."""
+
+    def __init__(self, machine_factory, attack_fn):
+        """``attack_fn(machine, neighbor) -> bool`` (success)."""
+        self.machine_factory = machine_factory
+        self.attack_fn = attack_fn
+
+    def sweep(self, pressures, trials=5, seed0=0):
+        """Success rate per pressure level."""
+        results = {}
+        seed = seed0
+        for pressure in pressures:
+            wins = 0
+            for _ in range(trials):
+                machine = self.machine_factory(seed)
+                neighbor = NoisyNeighbor(
+                    machine, pressure=pressure, seed=seed + 1
+                )
+                if self.attack_fn(machine, neighbor):
+                    wins += 1
+                seed += 1
+            results[pressure] = wins / trials
+        return results

@@ -1,0 +1,90 @@
+"""Event-driven victim workloads (paper Section IV-E, Figure 6).
+
+Each workload models a user activity as a set of active time windows; when
+the spy's sleep interval overlaps an active window, the corresponding
+kernel module executes (``LinuxKernel.touch_module``), loading its
+translations into the TLB -- the observable the spy measures.
+"""
+
+
+class ModuleWorkload:
+    """Base class: drives one kernel module during active windows."""
+
+    #: kernel module this activity exercises
+    module = None
+
+    def __init__(self, active_windows, pages_touched=10):
+        """``active_windows`` is a list of (start_s, end_s) intervals."""
+        self.active_windows = [tuple(w) for w in active_windows]
+        self.pages_touched = pages_touched
+
+    def is_active(self, t_start, t_end=None):
+        """Ground truth: is the activity live in [t_start, t_end)?"""
+        if t_end is None:
+            t_end = t_start + 1.0
+        return any(
+            start < t_end and t_start < end
+            for start, end in self.active_windows
+        )
+
+    def deliver(self, machine, t_start, t_end):
+        """Run the driver if the interval overlaps an active window."""
+        if self.is_active(t_start, t_end):
+            machine.kernel.touch_module(
+                machine.core, self.module, self.pages_touched
+            )
+
+
+class BluetoothStreaming(ModuleWorkload):
+    """Bluetooth audio streaming: long continuous active windows."""
+
+    module = "bluetooth"
+
+    def __init__(self, start_s=20.0, end_s=60.0, pages_touched=10):
+        super().__init__([(start_s, end_s)], pages_touched)
+
+
+class MouseActivity(ModuleWorkload):
+    """Mouse movement: shorter bursts separated by idle gaps."""
+
+    module = "psmouse"
+
+    def __init__(self, bursts=((10, 18), (35, 42), (70, 90)),
+                 pages_touched=10):
+        super().__init__(list(bursts), pages_touched)
+
+
+class KeystrokeBursts(ModuleWorkload):
+    """Keystroke activity (the paper's suggested extension) via atkbd."""
+
+    module = "hid"
+
+    def __init__(self, bursts=((5, 9), (30, 33), (55, 61)),
+                 pages_touched=4):
+        super().__init__(list(bursts), pages_touched)
+
+
+class IdleWorkload(ModuleWorkload):
+    """A victim that never runs (false-positive control)."""
+
+    module = None
+
+    def __init__(self):
+        super().__init__([])
+
+    def deliver(self, machine, t_start, t_end):
+        return None
+
+
+class CompositeWorkload:
+    """Several independent activities running concurrently."""
+
+    def __init__(self, workloads):
+        self.workloads = list(workloads)
+
+    def deliver(self, machine, t_start, t_end):
+        for workload in self.workloads:
+            workload.deliver(machine, t_start, t_end)
+
+    def is_active(self, t_start, t_end=None):
+        return any(w.is_active(t_start, t_end) for w in self.workloads)

@@ -1,0 +1,41 @@
+"""Shared fixtures: prebuilt machines for the heavier attack tests."""
+
+import pytest
+
+from repro.machine import Machine
+
+
+@pytest.fixture
+def linux_machine():
+    """A fresh default Linux machine (Alder Lake, KASLR on, KPTI off)."""
+    return Machine.linux(seed=1234)
+
+
+@pytest.fixture
+def icelake_machine():
+    return Machine.linux(cpu="i7-1065G7", seed=1234)
+
+
+@pytest.fixture
+def amd_machine():
+    return Machine.linux(cpu="ryzen5-5600X", seed=1234)
+
+
+@pytest.fixture
+def kpti_machine():
+    return Machine.linux(seed=1234, kpti=True)
+
+
+@pytest.fixture
+def windows_machine():
+    return Machine.windows(seed=1234)
+
+
+@pytest.fixture
+def small_module_set():
+    """A compact module list for fast module-window scans."""
+    from repro.os.linux.modules import MODULE_CATALOG
+
+    names = {"video", "mac_hid", "autofs4", "x_tables", "psmouse",
+             "bluetooth", "fat", "vfat", "coretemp", "ahci"}
+    return [m for m in MODULE_CATALOG if m.name in names]

@@ -1,0 +1,88 @@
+"""Virtual-address arithmetic."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mmu import address
+
+
+class TestCanonical:
+    def test_user_half_is_canonical(self):
+        assert address.is_canonical(0x0000_7FFF_FFFF_FFFF)
+        assert address.is_canonical(0)
+        assert address.is_canonical(0x5555_5555_4000)
+
+    def test_kernel_half_is_canonical(self):
+        assert address.is_canonical(0xFFFF_8000_0000_0000)
+        assert address.is_canonical(0xFFFF_FFFF_FFFF_FFFF)
+
+    def test_hole_is_not_canonical(self):
+        assert not address.is_canonical(0x0000_8000_0000_0000)
+        assert not address.is_canonical(0x8000_0000_0000_0000)
+        assert not address.is_canonical(0xFFFF_7FFF_FFFF_FFFF)
+
+    def test_check_canonical_raises(self):
+        with pytest.raises(AddressError):
+            address.check_canonical(0x1234_0000_0000_0000)
+
+    def test_user_kernel_split(self):
+        assert address.is_user_address(0x7FFF_FFFF_F000)
+        assert not address.is_user_address(0xFFFF_FFFF_8000_0000)
+        assert address.is_kernel_address(0xFFFF_FFFF_8000_0000)
+        assert not address.is_kernel_address(0x1000)
+
+
+class TestIndices:
+    def test_zero(self):
+        assert address.split_indices(0) == (0, 0, 0, 0)
+
+    def test_known_kernel_address(self):
+        # 0xffffffff80000000: PML4 511, PDPT 510, PD 0, PT 0
+        assert address.split_indices(0xFFFF_FFFF_8000_0000) == (511, 510, 0, 0)
+
+    def test_each_field_independent(self):
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12)
+        assert address.split_indices(va) == (3, 5, 7, 9)
+
+    def test_offset_does_not_affect_indices(self):
+        va = (3 << 39) | (5 << 30)
+        assert address.split_indices(va) == address.split_indices(va + 0xFFF)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert address.page_align_down(0x1FFF) == 0x1000
+        assert address.page_align_down(0x1000) == 0x1000
+
+    def test_align_up(self):
+        assert address.page_align_up(0x1001) == 0x2000
+        assert address.page_align_up(0x2000) == 0x2000
+
+    def test_huge_page_alignment(self):
+        two_mb = address.PAGE_SIZE_2M
+        assert address.page_align_down(two_mb + 5, two_mb) == two_mb
+        assert address.page_align_up(two_mb + 5, two_mb) == 2 * two_mb
+
+    def test_is_aligned(self):
+        assert address.is_aligned(0x2000)
+        assert not address.is_aligned(0x2001)
+
+    def test_page_offset(self):
+        assert address.page_offset(0x1ABC) == 0xABC
+
+
+class TestRanges:
+    def test_pages_in_range(self):
+        pages = list(address.pages_in_range(0x1800, 0x3800))
+        assert pages == [0x1000, 0x2000, 0x3000]
+
+    def test_empty_range(self):
+        assert list(address.pages_in_range(0x1000, 0x1000)) == []
+
+    def test_reversed_range_raises(self):
+        with pytest.raises(AddressError):
+            list(address.pages_in_range(0x2000, 0x1000))
+
+    def test_vpn(self):
+        assert address.vpn_of(0x5000) == 5
+        assert address.vpn_of(0x40_0000, address.PAGE_SIZE_2M) == 2

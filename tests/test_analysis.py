@@ -1,0 +1,122 @@
+"""Statistics, the repeat-trial harness, and report rendering."""
+
+import pytest
+
+from repro.analysis.experiment import AccuracyExperiment
+from repro.analysis.report import format_histogram, format_series, format_table
+from repro.analysis.stats import (
+    TimingSummary,
+    discriminability,
+    summarize,
+    threshold_quality,
+)
+from repro.machine import Machine
+
+
+class TestTimingSummary:
+    def test_basic_moments(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.mean == 3
+        assert summary.median == 3
+        assert summary.minimum == 1 and summary.maximum == 5
+        assert summary.n == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingSummary([])
+
+    def test_percentiles_ordered(self):
+        summary = summarize(list(range(100)))
+        assert summary.p5 <= summary.median <= summary.p95
+
+    def test_constant_sample(self):
+        summary = summarize([7, 7, 7])
+        assert summary.std == 0
+
+
+class TestDiscriminability:
+    def test_separated_distributions(self):
+        a = [100, 101, 99, 100]
+        b = [200, 201, 199, 200]
+        assert discriminability(a, b) > 10
+
+    def test_identical_distributions(self):
+        a = [1, 2, 3]
+        assert discriminability(a, a) == 0
+
+    def test_zero_variance_distinct_means(self):
+        assert discriminability([1, 1], [2, 2]) == float("inf")
+
+
+class TestThresholdQuality:
+    def test_perfect_threshold(self):
+        fn, fp = threshold_quality(150, [100, 110], [200, 210])
+        assert fn == 0 and fp == 0
+
+    def test_bad_threshold(self):
+        fn, fp = threshold_quality(50, [100, 110], [200, 210])
+        assert fn == 1.0 and fp == 0
+
+    def test_partial(self):
+        fn, fp = threshold_quality(105, [100, 110], [104, 210])
+        assert fn == 0.5 and fp == 0.5
+
+
+class TestAccuracyExperiment:
+    def test_aggregates_boolean_outcomes(self):
+        def attack(machine):
+            return machine.kernel.base % 2 == 0, 1.0, 2.0
+
+        experiment = AccuracyExperiment(
+            lambda seed: Machine.linux(seed=seed), attack
+        ).run(4)
+        assert 0 <= experiment.accuracy <= 1
+        assert experiment.mean_probing_ms == 1.0
+        assert experiment.mean_total_ms == 2.0
+
+    def test_fractional_outcomes(self):
+        experiment = AccuracyExperiment(
+            lambda seed: None, lambda machine: (0.5, 1.0, 1.0)
+        ).run(3)
+        assert experiment.accuracy == 0.5
+
+    def test_report_row(self):
+        experiment = AccuracyExperiment(
+            lambda seed: None, lambda machine: (True, 1.5, 2.5)
+        ).run(2)
+        label, probing, total, accuracy = experiment.report_row("x")
+        assert (label, probing, total, accuracy) == ("x", 1.5, 2.5, 1.0)
+
+    def test_distinct_seeds_used(self):
+        seen = []
+        AccuracyExperiment(
+            lambda seed: seen.append(seed), lambda machine: (True, 0, 0)
+        ).run(3, seed0=10)
+        assert seen == [10, 11, 12]
+
+
+class TestReportRendering:
+    def test_format_table(self):
+        text = format_table(
+            ["cpu", "ms"], [["i9", 1.234], ["i5", 0.5]], title="T"
+        )
+        assert "cpu" in text and "i9" in text and "1.234" in text
+        assert text.splitlines()[0] == "T"
+
+    def test_table_alignment_stable(self):
+        text = format_table(["a"], [["xxxxxxxx"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_format_histogram(self):
+        text = format_histogram([1, 1, 2, 50], bins=4, title="H")
+        assert "H" in text
+        assert "#" in text
+
+    def test_histogram_empty(self):
+        assert "empty" in format_histogram([])
+
+    def test_format_series(self):
+        text = format_series([(0, 1.0), (1, 2.0)], title="S")
+        assert "S" in text
+        assert "*" in text

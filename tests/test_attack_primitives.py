@@ -1,0 +1,176 @@
+"""Calibration and the three attack primitives (P2/P4/P5)."""
+
+import pytest
+
+from repro.attacks.calibrate import (
+    calibrate_store_threshold,
+    calibrate_user_load,
+    robust_stats,
+)
+from repro.attacks.primitives import (
+    PageTableAttack,
+    PermissionAttack,
+    TLBAttack,
+    double_probe_load,
+    double_probe_store,
+)
+from repro.mmu.address import PAGE_SIZE, PAGE_SIZE_2M
+
+
+class TestRobustStats:
+    def test_median_and_mean(self):
+        median, mean, std = robust_stats([10, 10, 10, 10, 10])
+        assert median == 10 and mean == 10 and std == 0
+
+    def test_spike_resistance(self):
+        values = [100] * 95 + [5000] * 5
+        __, mean, __ = robust_stats(values)
+        assert mean < 200  # the trimmed mean ignores the spikes
+
+
+class TestCalibration:
+    def test_threshold_sits_in_the_gap(self, linux_machine):
+        """The decision boundary lands between mapped and unmapped modes."""
+        machine = linux_machine
+        calibration = calibrate_store_threshold(machine)
+        cpu = machine.cpu
+        mapped = (cpu.expected_kernel_mapped_load_tlb_hit()
+                  + cpu.measurement_overhead)
+        unmapped_extra = cpu.walk_base + cpu.walk_access_hot + \
+            3 * cpu.level_step_cycles
+        unmapped = (cpu.load_base + cpu.assist_load + unmapped_extra
+                    + cpu.measurement_overhead)
+        assert mapped < calibration.threshold < unmapped
+
+    def test_classify_mapped(self, linux_machine):
+        calibration = calibrate_store_threshold(linux_machine)
+        assert calibration.classify_mapped(calibration.mean)
+        assert not calibration.classify_mapped(calibration.threshold + 50)
+
+    def test_calibration_mean_matches_identity(self, linux_machine):
+        """Store on clean USER-M ~= kernel-mapped load (Section IV-B)."""
+        machine = linux_machine
+        calibration = calibrate_store_threshold(machine)
+        expected = (machine.cpu.expected_kernel_mapped_load_tlb_hit()
+                    + machine.cpu.measurement_overhead)
+        assert abs(calibration.mean - expected) < 6
+
+    def test_user_load_baseline_is_13_cycles(self, icelake_machine):
+        machine = icelake_machine
+        calibration = calibrate_user_load(machine)
+        expected = 13 + machine.cpu.measurement_overhead
+        assert abs(calibration.mean - expected) < 8
+
+
+class TestDoubleProbe:
+    def test_mapped_kernel_faster_than_unmapped(self, linux_machine):
+        machine = linux_machine
+        core = machine.core
+        base = machine.kernel.base
+        t_mapped = double_probe_load(core, base, rounds=8)
+        t_unmapped = double_probe_load(core, base - PAGE_SIZE_2M, rounds=8)
+        assert t_mapped < t_unmapped
+
+    def test_take_min_filters_spikes(self, linux_machine):
+        core = linux_machine.core
+        base = linux_machine.kernel.base
+        t_min = double_probe_load(core, base, rounds=16, take_min=True)
+        t_mean = double_probe_load(core, base, rounds=16)
+        assert t_min <= t_mean
+
+    def test_store_probe(self, linux_machine):
+        core = linux_machine.core
+        t = double_probe_store(core, linux_machine.playground.user_rw,
+                               rounds=4)
+        assert t > 0
+
+
+class TestPageTableAttack:
+    def test_is_mapped_on_kernel_pages(self, linux_machine):
+        machine = linux_machine
+        calibration = calibrate_store_threshold(machine)
+        attack = PageTableAttack(machine, calibration)
+        assert attack.is_mapped(machine.kernel.base)
+        assert not attack.is_mapped(machine.kernel.base - PAGE_SIZE_2M)
+
+    def test_requires_calibration(self, linux_machine):
+        attack = PageTableAttack(linux_machine)
+        with pytest.raises(ValueError):
+            attack.is_mapped(linux_machine.kernel.base)
+
+    def test_classify_scan(self, linux_machine):
+        machine = linux_machine
+        calibration = calibrate_store_threshold(machine)
+        attack = PageTableAttack(machine, calibration)
+        base = machine.kernel.base
+        verdicts = attack.classify_scan(
+            [base - PAGE_SIZE_2M, base, base + PAGE_SIZE_2M]
+        )
+        assert verdicts == [False, True, True]
+
+
+class TestTLBAttack:
+    def test_detects_kernel_activity(self, linux_machine):
+        machine = linux_machine
+        attack = TLBAttack(machine)
+        target = machine.kernel.functions["sys_read"]
+
+        attack.prime()
+        hit_idle, __ = attack.probe(target)
+        # probing filled the TLB; re-prime and let the victim run
+        attack.prime()
+        machine.kernel.syscall(machine.core, "sys_read")
+        hit_active, __ = attack.probe(target)
+        assert hit_active and not hit_idle
+
+    def test_probe_region_verdicts(self, linux_machine):
+        machine = linux_machine
+        attack = TLBAttack(machine)
+        start, __ = machine.kernel.module_map["video"]
+        attack.prime()
+        machine.kernel.touch_module(machine.core, "video", pages=4)
+        __, verdicts = attack.probe_region(start, 4)
+        assert all(verdicts)
+
+    def test_idle_module_misses(self, linux_machine):
+        machine = linux_machine
+        attack = TLBAttack(machine)
+        start, __ = machine.kernel.module_map["video"]
+        attack.prime()
+        mean, verdicts = attack.probe_region(start, 4)
+        assert not any(verdicts)
+
+
+class TestPermissionAttack:
+    def test_classify_playground_pages(self, linux_machine):
+        machine = linux_machine
+        attack = PermissionAttack(machine)
+        pg = machine.playground
+        assert attack.classify(pg.user_ro) == "r"
+        assert attack.classify(pg.user_rx) == "r"
+        assert attack.classify(pg.user_rw) == "rw"
+        assert attack.classify(pg.user_none) == "---"
+        assert attack.classify(pg.unmapped) == "---"
+
+    def test_cannot_split_ro_from_rx(self, linux_machine):
+        """Figure 3: r-- and r-x are indistinguishable."""
+        attack = PermissionAttack(linux_machine)
+        pg = linux_machine.playground
+        assert attack.classify(pg.user_ro) == attack.classify(pg.user_rx)
+
+    def test_dirty_rw_detected_as_rw(self, linux_machine):
+        machine = linux_machine
+        addr = machine.process.mmap(1, "rw-")
+        machine.kernel.user_space.page_table.set_flag(
+            addr, __import__("repro.mmu.flags", fromlist=["PageFlags"]).PageFlags.DIRTY
+        )
+        attack = PermissionAttack(machine)
+        assert attack.classify(addr) == "rw"
+
+    def test_map_region(self, linux_machine):
+        machine = linux_machine
+        base = machine.process.library_bases["ld-linux-x86-64.so.2"]
+        attack = PermissionAttack(machine)
+        perms = attack.map_region(base, 41)
+        assert perms[0] == "r"         # .text
+        assert perms[40] == "rw"       # .data

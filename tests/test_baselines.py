@@ -1,0 +1,102 @@
+"""Prior-art baselines: prefetch timing and TSX abort timing."""
+
+import pytest
+
+from repro.attacks.baselines import (
+    break_kaslr_prefetch,
+    break_kaslr_tsx,
+    compare_with_baselines,
+)
+from repro.errors import ConfigError
+from repro.machine import Machine
+
+
+class TestProbePrimitives:
+    def test_prefetch_never_faults(self):
+        machine = Machine.linux(seed=991)
+        # kernel, unmapped, PROT_NONE: prefetch is architecturally silent
+        for va in (machine.kernel.base, machine.playground.unmapped,
+                   machine.playground.user_none):
+            machine.core.timed_prefetch(va)
+
+    def test_prefetch_carries_translation_signal(self):
+        machine = Machine.linux(seed=992)
+        core = machine.core
+        base = machine.kernel.base
+        core.masked_load(base)  # warm translation
+        import statistics
+
+        mapped = statistics.median(
+            [core.timed_prefetch(base) for _ in range(200)]
+        )
+        unmapped = statistics.median(
+            [core.timed_prefetch(base - (2 << 20)) for _ in range(200)]
+        )
+        assert mapped < unmapped
+
+    def test_prefetch_drops_produce_fast_mode(self):
+        machine = Machine.linux(seed=993)
+        core = machine.core
+        samples = [
+            core.timed_prefetch(machine.kernel.base - (2 << 20))
+            for _ in range(300)
+        ]
+        floor = machine.cpu.prefetch_base + machine.cpu.measurement_overhead
+        dropped = sum(1 for s in samples if s < floor + 10)
+        expected = machine.cpu.prefetch_drop_prob * 300
+        assert abs(dropped - expected) < 60
+
+    def test_tsx_requires_support(self):
+        machine = Machine.linux(seed=994)  # Alder Lake: no TSX
+        with pytest.raises(ConfigError):
+            machine.core.tsx_probe(machine.kernel.base)
+
+    def test_tsx_probe_signal_on_capable_part(self):
+        machine = Machine.linux(cpu="i9-9900", seed=995)
+        core = machine.core
+        base = machine.kernel.base
+        core.tsx_probe(base)
+        hit = core.tsx_probe(base)
+        miss = core.tsx_probe(base - (2 << 20))
+        assert hit < miss
+
+
+class TestBaselineAttacks:
+    def test_prefetch_break_works_but_slower(self):
+        machine = Machine.linux(seed=996)
+        result = break_kaslr_prefetch(machine)
+        assert result.method == "prefetch"
+        assert result.base == machine.kernel.base
+        from repro.attacks.kaslr_break import break_kaslr_intel
+
+        avx = break_kaslr_intel(Machine.linux(seed=996))
+        assert result.probing_ms > 5 * avx.probing_ms
+
+    def test_tsx_break_on_coffee_lake(self):
+        machine = Machine.linux(cpu="i9-9900", seed=997)
+        result = break_kaslr_tsx(machine)
+        assert result.base == machine.kernel.base
+        assert result.method == "tsx"
+
+    def test_tsx_break_refused_on_modern_parts(self):
+        for cpu in ("i5-12400F", "i7-1065G7", "ryzen5-5600X"):
+            with pytest.raises(ConfigError):
+                break_kaslr_tsx(Machine.linux(cpu=cpu, seed=998))
+
+    def test_comparison_report_structure(self):
+        report = compare_with_baselines(
+            lambda s: Machine.linux(cpu="i9-9900", seed=s), trials=2
+        )
+        assert set(report) == {
+            "avx (this paper)", "prefetch (Gruss et al.)",
+            "tsx / DrK (Jang et al.)",
+        }
+        assert report["avx (this paper)"]["wins"] == 2
+        assert report["tsx / DrK (Jang et al.)"]["available"]
+
+    def test_comparison_flags_tsx_unavailable_on_modern(self):
+        report = compare_with_baselines(
+            lambda s: Machine.linux(seed=s), trials=2
+        )
+        assert not report["tsx / DrK (Jang et al.)"]["available"]
+        assert report["avx (this paper)"]["wins"] == 2

@@ -1,0 +1,200 @@
+"""Behavior inference (Fig. 6) and user-space / SGX breaks (Fig. 7)."""
+
+import pytest
+
+from repro.attacks.behavior import BehaviorSpy, detection_metrics
+from repro.attacks.sgx_break import break_aslr_from_enclave
+from repro.attacks.userspace import (
+    _observable_signature,
+    find_user_code_base,
+    identify_libraries,
+    scan_rw_pages,
+)
+from repro.errors import AttackError
+from repro.machine import Machine
+from repro.os.linux.libraries import LIBRARY_CATALOG
+from repro.workloads import (
+    BluetoothStreaming,
+    CompositeWorkload,
+    IdleWorkload,
+    MouseActivity,
+)
+
+
+@pytest.fixture(scope="module")
+def spy_machine():
+    return Machine.linux(cpu="i7-1065G7", seed=50)
+
+
+class TestBehaviorSpy:
+    def test_bluetooth_streaming_detected(self, spy_machine):
+        machine = spy_machine
+        base = machine.kernel.module_map["bluetooth"][0]
+        spy = BehaviorSpy(machine, base)
+        workload = BluetoothStreaming(start_s=5, end_s=15)
+        samples = spy.run(workload, duration_s=25)
+        accuracy, precision, recall = detection_metrics(
+            samples, workload.is_active
+        )
+        assert accuracy >= 0.9
+        assert recall >= 0.9
+
+    def test_idle_produces_no_detections(self, spy_machine):
+        machine = spy_machine
+        base = machine.kernel.module_map["psmouse"][0]
+        spy = BehaviorSpy(machine, base)
+        samples = spy.run(IdleWorkload(), duration_s=12)
+        assert not any(s.active for s in samples)
+
+    def test_mouse_bursts_shape(self, spy_machine):
+        machine = spy_machine
+        base = machine.kernel.module_map["psmouse"][0]
+        spy = BehaviorSpy(machine, base)
+        workload = MouseActivity(bursts=((3, 6), (10, 12)))
+        samples = spy.run(workload, duration_s=15)
+        active_times = {s.t_seconds for s in samples if s.active}
+        assert 4.0 in active_times
+        assert 8.0 not in active_times
+
+    def test_active_samples_faster_than_idle(self, spy_machine):
+        machine = spy_machine
+        base = machine.kernel.module_map["bluetooth"][0]
+        spy = BehaviorSpy(machine, base)
+        workload = BluetoothStreaming(start_s=0, end_s=5)
+        samples = spy.run(workload, duration_s=10)
+        active = [s.mean_cycles for s in samples if s.t_seconds < 5]
+        idle = [s.mean_cycles for s in samples if s.t_seconds >= 5]
+        assert max(active) < min(idle)
+
+    def test_composite_workload(self, spy_machine):
+        machine = spy_machine
+        workload = CompositeWorkload(
+            [BluetoothStreaming(0, 3), MouseActivity(bursts=((5, 7),))]
+        )
+        assert workload.is_active(1)
+        assert workload.is_active(6)
+        assert not workload.is_active(4)
+
+    def test_spy_clock_advances_by_duration(self, spy_machine):
+        machine = spy_machine
+        base = machine.kernel.module_map["psmouse"][0]
+        spy = BehaviorSpy(machine, base)
+        start = machine.clock.seconds
+        spy.run(IdleWorkload(), duration_s=5)
+        assert machine.clock.seconds - start >= 5.0
+
+
+class TestWorkloads:
+    def test_bluetooth_window(self):
+        workload = BluetoothStreaming(20, 60)
+        assert workload.is_active(30)
+        assert not workload.is_active(61)
+        assert workload.module == "bluetooth"
+
+    def test_interval_overlap_semantics(self):
+        workload = BluetoothStreaming(20, 60)
+        assert workload.is_active(19.5)        # [19.5, 20.5) overlaps
+        assert not workload.is_active(60.0)
+
+    def test_mouse_module(self):
+        assert MouseActivity().module == "psmouse"
+
+
+class TestUserScan:
+    def test_finds_code_base(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=51)
+        result = find_user_code_base(machine)
+        assert result.base == machine.process.text_base
+
+    def test_store_pass_flags_written_data_pages(self):
+        """The second (store) pass finds the executable's rw .data."""
+        machine = Machine.linux(cpu="i7-1065G7", seed=52)
+        from repro.mmu.address import PAGE_SIZE
+
+        result = scan_rw_pages(machine)
+        data_page = machine.process.text_base + 7 * PAGE_SIZE
+        assert any(a <= data_page <= b for a, b in result.mapped_runs)
+
+    def test_store_pass_skips_readonly_text(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=52)
+        result = scan_rw_pages(machine)
+        text = machine.process.text_base
+        assert not any(a <= text <= b for a, b in result.mapped_runs)
+
+    def test_store_scan_faster_than_load_scan(self):
+        """Section IV-F: 44 s (store pass) vs 51 s (load pass)."""
+        machine = Machine.linux(cpu="i7-1065G7", seed=53)
+        load = find_user_code_base(machine)
+        store = scan_rw_pages(machine)
+        assert store.probing_seconds < load.probing_seconds
+
+    def test_extrapolated_runtime_in_paper_ballpark(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=54)
+        result = find_user_code_base(machine)
+        assert 20 < result.probing_seconds < 120  # paper: 51 s
+
+    def test_full_probe_count_is_28_bits(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=55)
+        result = find_user_code_base(machine, rounds=2)
+        assert result.full_probe_count == (1 << 28) * 2
+
+
+class TestLibraryIdentification:
+    @pytest.fixture(scope="class")
+    def identification(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=56)
+        return machine, identify_libraries(machine)
+
+    def test_all_default_libraries_found(self, identification):
+        machine, result = identification
+        for name, base in machine.process.library_bases.items():
+            assert result.base_of(name) == base, name
+
+    def test_permission_map_matches_ground_truth(self, identification):
+        machine, result = identification
+        process = machine.process
+        mismatches = 0
+        for va, detected in result.permission_map.items():
+            truth = process.true_permissions(va)
+            expected = {"r--": "r", "r-x": "r", "rw-": "rw", "---": "---"}[truth]
+            if detected != expected:
+                mismatches += 1
+        assert mismatches == 0
+
+    def test_hidden_pages_detected(self, identification):
+        """Figure 7: the probe finds pages maps does not list."""
+        machine, result = identification
+        hidden = [
+            r.start for r in machine.process.all_regions()
+            if r.hidden and r.start >= result.window[0]
+        ]
+        for va in hidden:
+            assert va in result.extra_pages
+
+    def test_signature_collapse_rules(self):
+        libc_sig = _observable_signature(LIBRARY_CATALOG["libc.so.6"])
+        assert libc_sig == ((("r", 437),), (("r", 4), ("rw", 2)))
+
+
+class TestSgxBreak:
+    def test_requires_enclave(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=57)
+        with pytest.raises(AttackError):
+            break_aslr_from_enclave(machine)
+
+    def test_sgx1_refused(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=58)
+        machine.create_enclave(sgx2=False)
+        with pytest.raises(Exception):
+            break_aslr_from_enclave(machine)
+
+    def test_full_break(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=59)
+        machine.create_enclave()
+        result = break_aslr_from_enclave(machine)
+        assert result.code_base == machine.process.text_base
+        assert result.store_seconds < result.load_seconds
+        assert result.rw_pages
+        assert result.libraries is not None
+        assert result.libraries.base_of("libc.so.6") == \
+            machine.process.library_bases["libc.so.6"]

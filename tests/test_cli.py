@@ -1,0 +1,66 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("cpus", "kaslr", "modules", "kpti", "spy",
+                        "windows", "cloud", "sgx", "poc"):
+            args = parser.parse_args(
+                [command, "ec2"] if command == "cloud" else [command]
+            )
+            assert callable(args.func)
+
+    def test_cloud_provider_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cloud", "ibm"])
+
+
+class TestCommands:
+    def test_cpus(self, capsys):
+        assert main(["cpus"]) == 0
+        out = capsys.readouterr().out
+        assert "i5-12400F" in out and "ryzen5-5600X" in out
+
+    def test_kaslr_correct_exit_code(self, capsys):
+        assert main(["kaslr", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CORRECT" in out
+
+    def test_kaslr_amd_path(self, capsys):
+        assert main(["kaslr", "--cpu", "ryzen5-5600X", "--seed", "3"]) == 0
+        assert "amd-p3" in capsys.readouterr().out
+
+    def test_kpti(self, capsys):
+        assert main(["kpti", "--seed", "4"]) == 0
+        assert "trampoline" in capsys.readouterr().out
+
+    def test_spy(self, capsys):
+        code = main(["spy", "--app", "file-transfer", "--seed", "5",
+                     "--intervals", "16"])
+        assert code == 0
+        assert "CORRECT" in capsys.readouterr().out
+
+    def test_windows(self, capsys):
+        assert main(["windows", "--seed", "6"]) == 0
+        assert "region-scan" in capsys.readouterr().out
+
+    def test_cloud(self, capsys):
+        assert main(["cloud", "gce", "--seed", "7"]) == 0
+        assert "Google GCE" in capsys.readouterr().out
+
+    def test_poc(self, capsys):
+        assert main(["poc", "--seed", "8"]) == 0
+        assert "assembly scan loop" in capsys.readouterr().out
+
+    def test_unknown_cpu_clean_error(self, capsys):
+        assert main(["kaslr", "--cpu", "z80"]) == 2
+        assert "error" in capsys.readouterr().err

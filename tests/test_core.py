@@ -1,0 +1,120 @@
+"""Core: measurement wrappers, eviction, privileged kernel touches."""
+
+import pytest
+
+from repro.cpu.core import EVICTION_COST_CYCLES, Core
+from repro.cpu.models import get_cpu_model
+from repro.errors import ConfigError
+from repro.mmu.address import PAGE_SIZE
+from repro.mmu.flags import PageFlags, flags_from_prot
+from repro.mmu.pagetable import AddressSpace
+
+
+@pytest.fixture
+def core_and_space():
+    space = AddressSpace()
+    space.map_range(0x10_0000, PAGE_SIZE, flags_from_prot(read=True, write=True))
+    core = Core(get_cpu_model("i5-12400F"), seed=1)
+    core.set_address_space(space)
+    return core, space
+
+
+class TestAddressSpaceBinding:
+    def test_no_space_raises(self):
+        core = Core(get_cpu_model("i5-12400F"), seed=0)
+        with pytest.raises(ConfigError):
+            core.masked_load(0x1000)
+
+    def test_cr3_switch_flushes_tlb(self, core_and_space):
+        core, space = core_and_space
+        core.masked_load(0x10_0000)
+        assert core.tlb.holds(0x10_0000)
+        core.set_address_space(space)
+        assert not core.tlb.holds(0x10_0000)
+
+    def test_pcid_switch_keeps_tlb(self, core_and_space):
+        core, space = core_and_space
+        core.masked_load(0x10_0000)
+        core.set_address_space(space, flush=False)
+        assert core.tlb.holds(0x10_0000)
+
+
+class TestMeasurement:
+    def test_timed_load_includes_overhead(self, core_and_space):
+        core, __ = core_and_space
+        core.masked_load(0x10_0000)
+        measured = core.timed_masked_load(0x10_0000)
+        expected = 13 + core.cpu.measurement_overhead
+        assert measured >= expected
+        assert measured < expected + 100
+
+    def test_clock_advances_during_measurement(self, core_and_space):
+        core, __ = core_and_space
+        before = core.clock.cycles
+        core.timed_masked_load(0x10_0000)
+        assert core.clock.cycles > before
+
+    def test_read_tsc_monotonic(self, core_and_space):
+        core, __ = core_and_space
+        a = core.read_tsc()
+        b = core.read_tsc()
+        assert b > a
+
+
+class TestEviction:
+    def test_eviction_flushes_everything(self, core_and_space):
+        core, __ = core_and_space
+        core.masked_load(0x10_0000)
+        core.evict_translation_caches()
+        assert not core.tlb.holds(0x10_0000)
+        result = core.masked_load(0x10_0000)
+        assert result.walks == 1
+
+    def test_eviction_costs_cycles(self, core_and_space):
+        core, __ = core_and_space
+        before = core.clock.cycles
+        core.evict_translation_caches()
+        assert core.clock.cycles - before == EVICTION_COST_CYCLES
+
+    def test_eviction_makes_walks_cold(self, core_and_space):
+        """The paper's 381-cycle scenario: post-eviction walks hit DRAM."""
+        core, __ = core_and_space
+        core.masked_load(0x10_0000)
+        warm = core.masked_load(0x10_0000)
+        core.evict_translation_caches()
+        cold = core.masked_load(0x10_0000)
+        assert cold.cycles > warm.cycles
+
+    def test_invlpg_single_address(self, core_and_space):
+        core, space = core_and_space
+        space.map_range(0x20_0000, PAGE_SIZE, flags_from_prot(read=True))
+        core.masked_load(0x10_0000)
+        core.masked_load(0x20_0000)
+        core.invlpg(0x10_0000)
+        assert not core.tlb.holds(0x10_0000)
+        assert core.tlb.holds(0x20_0000)
+
+
+class TestKernelTouch:
+    def test_kernel_touch_fills_tlb(self, core_and_space):
+        core, space = core_and_space
+        kva = 0xFFFF_FFFF_8000_0000
+        space.map_range(kva, PAGE_SIZE, PageFlags.PRESENT)
+        core.kernel_touch([kva])
+        assert core.tlb.holds(kva)
+
+    def test_kernel_touch_fills_even_on_amd(self):
+        """The kernel itself is privileged: its own accesses always cache."""
+        space = AddressSpace()
+        kva = 0xFFFF_FFFF_8000_0000
+        space.map_range(kva, PAGE_SIZE, PageFlags.PRESENT)
+        core = Core(get_cpu_model("ryzen5-5600X"), seed=0)
+        core.set_address_space(space)
+        core.kernel_touch([kva])
+        assert core.tlb.holds(kva)
+
+    def test_run_setup_charges_model_cost(self, core_and_space):
+        core, __ = core_and_space
+        before = core.clock.cycles
+        core.run_setup()
+        assert core.clock.cycles - before == core.cpu.setup_cycles

@@ -1,0 +1,111 @@
+"""The vectorized trial model, cross-validated against the reference path."""
+
+import pytest
+
+from repro.analysis.fastscan import (
+    ScanModel,
+    extract_scan_model,
+    reproduce_table1_accuracy,
+    simulate_base_attack_trials,
+)
+from repro.attacks.calibrate import calibrate_store_threshold
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def model():
+    return extract_scan_model("i5-12400F")
+
+
+class TestModelExtraction:
+    def test_modes_match_calibrated_expectations(self, model):
+        """The extracted modes are the simulator's, which in turn are the
+        paper's: 93 / 107 cycles plus measurement overhead."""
+        machine = Machine.linux(seed=1)
+        overhead = machine.cpu.measurement_overhead
+        assert model.mapped_cycles == 93 + overhead
+        assert model.unmapped_cycles == 107 + overhead
+        # the Section IV-B identity: store mode == mapped-load mode
+        assert model.store_cycles == model.mapped_cycles
+
+    def test_noise_parameters_forwarded(self, model):
+        machine = Machine.linux(seed=1)
+        assert model.sigma == machine.cpu.noise_sigma
+        assert model.spike_prob == machine.cpu.spike_prob
+        assert model.rounds == machine.cpu.rounds_default
+
+    def test_layout_parameters(self, model):
+        assert model.image_slots == 22
+        assert model.usable_slots == 512 - 22
+
+
+class TestCrossValidation:
+    def test_threshold_distribution_matches_reference(self, model):
+        """The vectorized calibration and the real one agree."""
+        import numpy as np
+
+        machine = Machine.linux(seed=77)
+        reference = calibrate_store_threshold(machine)
+        __, thresholds = None, []
+        for seed in range(20):
+            acc_rng = np.random.default_rng(seed)
+            from repro.analysis.fastscan import _noise
+
+            samples = model.store_cycles + _noise(acc_rng, (600,), model)
+            ordered = np.sort(samples)[: int(600 * 0.95)]
+            thresholds.append(
+                ordered.mean() + 3 * max(ordered.std(ddof=1), 1.0) + 2
+            )
+        mean_threshold = sum(thresholds) / len(thresholds)
+        assert abs(mean_threshold - reference.threshold) < 4
+
+    def test_small_n_agreement_with_reference_attack(self, model):
+        """At small n both paths should report (near-)perfect accuracy."""
+        accuracy, __ = simulate_base_attack_trials(model, trials=300, seed=3)
+        reference_wins = 0
+        for seed in range(15):
+            machine = Machine.linux(seed=seed)
+            result = break_kaslr_intel(machine)
+            reference_wins += result.base == machine.kernel.base
+        assert accuracy > 0.97
+        assert reference_wins >= 14
+
+
+class TestPaperScaleAccuracy:
+    def test_alder_lake_matches_table1(self):
+        """n = 10000: the paper reports 99.60 %."""
+        __, accuracy, failures = reproduce_table1_accuracy(
+            "i5-12400F", trials=10_000, seed=1
+        )
+        assert abs(accuracy - 0.9960) < 0.004
+        assert failures == 10_000 - round(accuracy * 10_000)
+
+    def test_ice_lake_matches_table1(self):
+        """n = 10000: the paper reports 99.29 %."""
+        __, accuracy, __ = reproduce_table1_accuracy(
+            "i7-1065G7", trials=10_000, seed=1
+        )
+        assert abs(accuracy - 0.9929) < 0.006
+
+    def test_deterministic_given_seed(self, model):
+        a = simulate_base_attack_trials(model, trials=2000, seed=9)
+        b = simulate_base_attack_trials(model, trials=2000, seed=9)
+        assert a == b
+
+    def test_failure_mode_is_spike_driven(self, model):
+        """Silencing the interrupt spikes removes nearly all failures."""
+        quiet = ScanModel(
+            cpu_key=model.cpu_key,
+            mapped_cycles=model.mapped_cycles,
+            unmapped_cycles=model.unmapped_cycles,
+            store_cycles=model.store_cycles,
+            sigma=model.sigma,
+            spike_prob=0.0,
+            spike_cycles=0,
+            rounds=model.rounds,
+            image_slots=model.image_slots,
+            usable_slots=model.usable_slots,
+        )
+        accuracy, __ = simulate_base_attack_trials(quiet, trials=5000, seed=2)
+        assert accuracy > 0.9995

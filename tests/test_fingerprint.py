@@ -1,0 +1,110 @@
+"""Application fingerprinting via module-activity vectors."""
+
+import pytest
+
+from repro.attacks.fingerprint import (
+    ApplicationFingerprinter,
+    Observation,
+    fingerprint_confusion,
+)
+from repro.machine import Machine
+from repro.workloads.apps import (
+    APP_CATALOG,
+    SENTINEL_MODULES,
+    ApplicationProfile,
+    ApplicationWorkload,
+)
+
+
+@pytest.fixture(scope="module")
+def spy_machine():
+    return Machine.linux(cpu="i7-1065G7", seed=500)
+
+
+@pytest.fixture(scope="module")
+def spy(spy_machine):
+    return ApplicationFingerprinter(spy_machine)
+
+
+class TestAppCatalog:
+    def test_sentinels_have_unique_sizes(self):
+        from repro.os.linux.modules import uniquely_sized
+
+        unique_names = {m.name for m in uniquely_sized()}
+        assert set(SENTINEL_MODULES) <= unique_names
+
+    def test_profiles_reference_known_modules(self):
+        from repro.os.linux.modules import by_name
+
+        for profile in APP_CATALOG.values():
+            for module in profile.module_rates:
+                by_name(module)  # raises if unknown
+
+    def test_profiles_are_distinguishable(self):
+        """Pairwise L2 distance between catalog profiles is substantial."""
+        import math
+
+        profiles = list(APP_CATALOG.values())
+        for i, a in enumerate(profiles):
+            for b in profiles[i + 1 :]:
+                keys = set(a.module_rates) | set(b.module_rates)
+                distance = math.sqrt(sum(
+                    (a.module_rates.get(k, 0) - b.module_rates.get(k, 0)) ** 2
+                    for k in keys
+                ))
+                assert distance > 0.4, (a.name, b.name)
+
+    def test_workload_by_name(self):
+        workload = ApplicationWorkload("gaming", seed=1)
+        assert workload.profile.name == "gaming"
+
+    def test_idle_never_active(self):
+        assert not ApplicationWorkload("idle", seed=1).is_active(0)
+
+
+class TestObservation:
+    def test_distance_zero_for_identical(self):
+        obs = Observation({"a": 0.5, "b": 0.0}, 10)
+        assert obs.distance({"a": 0.5}) == 0.0
+
+    def test_distance_symmetric_over_missing_keys(self):
+        obs = Observation({"a": 1.0}, 10)
+        assert obs.distance({"b": 1.0}) == pytest.approx(2 ** 0.5)
+
+
+class TestFingerprinter:
+    def test_sentinels_located_by_size(self, spy, spy_machine):
+        for name, address in spy.sentinels.items():
+            assert address == spy_machine.kernel.module_map[name][0]
+
+    def test_observation_rates_track_profile(self, spy):
+        workload = ApplicationWorkload("file-transfer", seed=9)
+        observation = spy.observe(workload, intervals=24)
+        profile = APP_CATALOG["file-transfer"].module_rates
+        assert observation.rates["e1000e"] > 0.8
+        assert observation.rates["bluetooth"] < 0.1
+        assert abs(observation.rates["nvme"] - profile["nvme"]) < 0.3
+
+    @pytest.mark.parametrize("truth", sorted(APP_CATALOG))
+    def test_each_app_classified_correctly(self, spy, truth):
+        workload = ApplicationWorkload(truth, seed=hash(truth) % 1000)
+        guess, __, ranking = spy.identify(
+            workload, list(APP_CATALOG.values()), intervals=24
+        )
+        assert guess == truth
+        assert ranking[0][1] <= ranking[-1][1]
+
+    def test_unknown_sentinel_rejected(self, spy_machine):
+        with pytest.raises(ValueError):
+            ApplicationFingerprinter(
+                spy_machine, sentinels=("coretemp",),  # non-unique size
+            )
+
+    def test_confusion_matrix_diagonal(self):
+        names = ("video-call", "file-transfer", "idle")
+        matrix = fingerprint_confusion(
+            lambda seed: Machine.linux(cpu="i7-1065G7", seed=seed),
+            names, trials=1, intervals=16, seed0=700,
+        )
+        for truth in names:
+            assert matrix[truth][truth] == 1

@@ -1,0 +1,62 @@
+"""PTE flag semantics."""
+
+from repro.mmu.flags import PageFlags, flags_from_prot
+
+
+class TestPageFlags:
+    def test_present(self):
+        assert PageFlags.PRESENT.present
+        assert not PageFlags.NONE.present
+
+    def test_writable(self):
+        assert (PageFlags.PRESENT | PageFlags.WRITABLE).writable
+        assert not PageFlags.PRESENT.writable
+
+    def test_user(self):
+        assert (PageFlags.PRESENT | PageFlags.USER).user
+        assert not PageFlags.PRESENT.user
+
+    def test_nx(self):
+        assert PageFlags.PRESENT.executable
+        assert not (PageFlags.PRESENT | PageFlags.NX).executable
+
+    def test_dirty_accessed(self):
+        flags = PageFlags.PRESENT | PageFlags.DIRTY | PageFlags.ACCESSED
+        assert flags.dirty
+        assert flags.accessed
+        assert not PageFlags.PRESENT.dirty
+
+    def test_describe_rwx(self):
+        rx = PageFlags.PRESENT | PageFlags.USER
+        assert rx.describe() == "r-x"
+        rw = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.NX
+        assert rw.describe() == "rw-"
+        assert PageFlags.NONE.describe() == "---"
+        ro = PageFlags.PRESENT | PageFlags.NX
+        assert ro.describe() == "r--"
+
+
+class TestFlagsFromProt:
+    def test_prot_none_is_nonpresent(self):
+        assert flags_from_prot(read=False) == PageFlags.NONE
+
+    def test_read_only(self):
+        flags = flags_from_prot(read=True)
+        assert flags.present and not flags.writable and not flags.executable
+        assert flags.user
+
+    def test_read_write(self):
+        flags = flags_from_prot(read=True, write=True)
+        assert flags.writable and not flags.executable
+
+    def test_read_exec(self):
+        flags = flags_from_prot(read=True, execute=True)
+        assert flags.executable and not flags.writable
+
+    def test_kernel_page(self):
+        flags = flags_from_prot(read=True, user=False)
+        assert flags.present and not flags.user
+
+    def test_fresh_mapping_is_clean(self):
+        # the attack's calibration page must start with D=0
+        assert not flags_from_prot(read=True, write=True).dirty

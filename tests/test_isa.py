@@ -1,0 +1,255 @@
+"""The ISA subset: assembler, executor, registers, and the PoC programs."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.executor import ExecutionError, Executor, Program
+from repro.isa.programs import (
+    run_double_probe_poc,
+    run_kaslr_scan_poc,
+    run_store_calibration_poc,
+)
+from repro.isa.registers import RegisterFile
+from repro.errors import PageFault
+from repro.machine import Machine
+from repro.os.linux import layout
+
+
+class TestRegisterFile:
+    def test_gpr_roundtrip(self):
+        regs = RegisterFile()
+        regs.write("rax", 0x1234)
+        assert regs.read("rax") == 0x1234
+
+    def test_gpr_wraps_at_64_bits(self):
+        regs = RegisterFile()
+        regs.write("rbx", 1 << 65)
+        assert regs.read("rbx") == 0
+
+    def test_ymm_width_enforced(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs.write_ymm("ymm0", b"\x00" * 16)
+
+    def test_ymm_mask_reads_element_msbs(self):
+        regs = RegisterFile()
+        data = bytearray(32)
+        data[3] = 0x80          # element 0 MSB
+        data[31] = 0x80         # element 7 MSB
+        regs.write_ymm("ymm0", bytes(data))
+        mask = regs.ymm_mask("ymm0")
+        assert mask == (True, False, False, False, False, False, False, True)
+
+    def test_flags_from_value(self):
+        regs = RegisterFile()
+        regs.set_flags_from(0)
+        assert regs.zf and not regs.sf
+        regs.set_flags_from((1 << 64) - 5)  # negative
+        assert regs.sf and not regs.zf
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        instructions, labels = assemble("mov rax, 5\nadd rax, rbx\nret")
+        assert [i.mnemonic for i in instructions] == ["mov", "add", "ret"]
+
+    def test_labels_and_comments(self):
+        instructions, labels = assemble(
+            "start:           ; entry\n"
+            "  mov rax, 1\n"
+            "  jmp start      ; loop forever\n"
+        )
+        assert labels == {"start": 0}
+        assert len(instructions) == 2
+
+    def test_memory_operands(self):
+        instructions, __ = assemble("vpmaskmovd ymm1, ymm0, [rdi+0x20]")
+        mem = instructions[0].operands[2]
+        assert mem.kind == "mem"
+        assert mem.base == "rdi" and mem.displacement == 0x20
+
+    def test_negative_displacement(self):
+        instructions, __ = assemble("vpmaskmovd ymm1, ymm0, [rax-8]")
+        assert instructions[0].operands[2].displacement == -8
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("fadd st0, st1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov rax")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_branch_to_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp rax")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble("nop\nbogus rax")
+        assert "line 2" in str(info.value)
+
+
+@pytest.fixture
+def machine():
+    return Machine.linux(seed=123)
+
+
+class TestExecutor:
+    def test_arithmetic(self, machine):
+        regs = Executor(machine.core).run(
+            "mov rax, 10\nadd rax, 32\nsub rax, 2\nret"
+        )
+        assert regs.read("rax") == 40
+
+    def test_shl_or(self, machine):
+        regs = Executor(machine.core).run(
+            "mov rax, 1\nshl rax, 32\nor rax, 5\nret"
+        )
+        assert regs.read("rax") == (1 << 32) | 5
+
+    def test_loop_with_branch(self, machine):
+        source = """
+            mov rcx, 0
+            mov rax, 0
+        loop:
+            add rax, 2
+            add rcx, 1
+            cmp rcx, 10
+            jl loop
+            ret
+        """
+        regs = Executor(machine.core).run(source)
+        assert regs.read("rax") == 20
+
+    def test_je_jne(self, machine):
+        source = """
+            mov rax, 5
+            cmp rax, 5
+            je equal
+            mov rbx, 1
+            ret
+        equal:
+            mov rbx, 2
+            ret
+        """
+        assert Executor(machine.core).run(source).read("rbx") == 2
+
+    def test_inputs_preloaded(self, machine):
+        regs = Executor(machine.core).run(
+            "add rdi, 1\nret", inputs={"rdi": 41}
+        )
+        assert regs.read("rdi") == 42
+
+    def test_infinite_loop_guard(self, machine):
+        executor = Executor(machine.core, max_steps=100)
+        with pytest.raises(ExecutionError):
+            executor.run("spin:\njmp spin")
+
+    def test_rdtsc_monotone(self, machine):
+        source = """
+            rdtsc
+            shl rdx, 32
+            or rax, rdx
+            mov r9, rax
+            rdtsc
+            shl rdx, 32
+            or rax, rdx
+            sub rax, r9
+            ret
+        """
+        delta = Executor(machine.core).run(source).read("rax")
+        assert delta > 0
+
+    def test_clock_advances(self, machine):
+        before = machine.clock.cycles
+        Executor(machine.core).run("nop\nnop\nret")
+        assert machine.clock.cycles > before
+
+    def test_vpxor_zero_idiom(self, machine):
+        regs = Executor(machine.core).run(
+            "vpcmpeqd ymm0, ymm0, ymm0\nvpxor ymm0, ymm0, ymm0\nret"
+        )
+        assert regs.read_ymm("ymm0") == b"\x00" * 32
+
+    def test_vpcmpeqd_ones_idiom(self, machine):
+        regs = Executor(machine.core).run("vpcmpeqd ymm3, ymm3, ymm3\nret")
+        assert regs.read_ymm("ymm3") == b"\xff" * 32
+
+    def test_masked_load_through_isa(self, machine):
+        page = machine.playground.user_rw
+        space = machine.kernel.user_space
+        space.memory.write(space.translate(page).physical_address, b"\x2a")
+        source = """
+            vpcmpeqd ymm0, ymm0, ymm0   ; all lanes active
+            vpmaskmovd ymm1, ymm0, [rdi]
+            ret
+        """
+        regs = Executor(machine.core).run(source, inputs={"rdi": page})
+        assert regs.read_ymm("ymm1")[0] == 0x2A
+
+    def test_masked_store_roundtrip(self, machine):
+        page = machine.playground.user_rw
+        source = """
+            vpcmpeqd ymm0, ymm0, ymm0
+            vpcmpeqd ymm2, ymm2, ymm2
+            vpmaskmovd [rdi], ymm0, ymm2
+            vpmaskmovd ymm1, ymm0, [rdi]
+            ret
+        """
+        regs = Executor(machine.core).run(source, inputs={"rdi": page})
+        assert regs.read_ymm("ymm1") == b"\xff" * 32
+
+    def test_zero_mask_probe_suppresses_fault(self, machine):
+        source = """
+            vpxor ymm0, ymm0, ymm0
+            vpmaskmovd ymm1, ymm0, [rdi]
+            ret
+        """
+        Executor(machine.core).run(
+            source, inputs={"rdi": machine.playground.unmapped}
+        )
+
+    def test_active_probe_on_unmapped_faults(self, machine):
+        source = """
+            vpcmpeqd ymm0, ymm0, ymm0
+            vpmaskmovd ymm1, ymm0, [rdi]
+            ret
+        """
+        with pytest.raises(PageFault):
+            Executor(machine.core).run(
+                source, inputs={"rdi": machine.playground.unmapped}
+            )
+
+
+class TestPoCPrograms:
+    def test_double_probe_separates_mapped_unmapped(self, machine):
+        base = machine.kernel.base
+        mapped = min(run_double_probe_poc(machine, base) for _ in range(5))
+        unmapped = min(
+            run_double_probe_poc(machine, base - 0x200000) for _ in range(5)
+        )
+        assert mapped < unmapped
+
+    def test_calibration_poc_matches_library_calibration(self, machine):
+        from repro.attacks.calibrate import calibrate_store_threshold
+
+        poc_mean = run_store_calibration_poc(machine, samples=200)
+        library = calibrate_store_threshold(machine, samples=200)
+        # the PoC includes its own fences/ALU around the store; allow a
+        # small fixed skew
+        assert abs(poc_mean - library.mean) < 30
+
+    def test_kaslr_scan_poc_finds_base(self, machine):
+        best_slot, __ = run_kaslr_scan_poc(
+            machine, layout.KERNEL_TEXT_START, layout.KERNEL_TEXT_SLOTS
+        )
+        assert best_slot == layout.kernel_slot_of(machine.kernel.base)

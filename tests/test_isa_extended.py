@@ -1,0 +1,122 @@
+"""Extended ISA: new ALU ops, tracing, the disassembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disasm import disassemble, format_trace
+from repro.isa.executor import Executor, Program
+from repro.machine import Machine
+
+
+@pytest.fixture
+def executor():
+    return Executor(Machine.linux(seed=970).core)
+
+
+class TestNewAluOps:
+    def test_and(self, executor):
+        regs = executor.run("mov rax, 0xff\nand rax, 0x0f\nret")
+        assert regs.read("rax") == 0x0F
+
+    def test_xor_self_zeroes(self, executor):
+        regs = executor.run("mov rax, 1234\nxor rax, rax\nret")
+        assert regs.read("rax") == 0
+        assert regs.zf
+
+    def test_test_sets_flags_without_writing(self, executor):
+        regs = executor.run("mov rax, 8\ntest rax, 7\nret")
+        assert regs.read("rax") == 8
+        assert regs.zf  # 8 & 7 == 0
+
+    def test_inc_dec(self, executor):
+        regs = executor.run("mov rcx, 5\ninc rcx\ninc rcx\ndec rcx\nret")
+        assert regs.read("rcx") == 6
+
+    def test_dec_to_zero_sets_zf(self, executor):
+        regs = executor.run("mov rcx, 1\ndec rcx\nret")
+        assert regs.zf
+
+    def test_inc_requires_gpr(self, executor):
+        with pytest.raises(Exception):
+            executor.run("inc ymm0\nret")
+
+    def test_countdown_loop_with_dec(self, executor):
+        source = """
+            mov rcx, 5
+            mov rax, 0
+        again:
+            add rax, 3
+            dec rcx
+            jne again
+            ret
+        """
+        assert executor.run(source).read("rax") == 15
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self, executor):
+        executor.run("nop\nret")
+        assert executor.last_trace is None
+
+    def test_trace_records_every_step(self, executor):
+        executor.run("mov rax, 1\nadd rax, 1\nret", trace=True)
+        assert len(executor.last_trace) == 3
+        pcs = [pc for pc, __, __ in executor.last_trace]
+        assert pcs == [0, 1, 2]
+
+    def test_trace_cycles_monotone(self, executor):
+        executor.run("nop\nnop\nlfence\nret", trace=True)
+        cycles = [c for __, __, c in executor.last_trace]
+        assert cycles == sorted(cycles)
+
+    def test_trace_follows_branches(self, executor):
+        source = """
+            mov rcx, 2
+        top:
+            dec rcx
+            jne top
+            ret
+        """
+        executor.run(source, trace=True)
+        pcs = [pc for pc, __, __ in executor.last_trace]
+        assert pcs == [0, 1, 2, 1, 2, 3]
+
+    def test_format_trace(self, executor):
+        executor.run("nop\nret", trace=True)
+        text = format_trace(executor.last_trace)
+        assert "instruction" in text
+        assert "nop" in text and "ret" in text
+
+
+class TestDisassembler:
+    def test_roundtrip_reassembles(self):
+        source = """
+        start:
+            mov rax, 0x10
+            vpxor ymm0, ymm0, ymm0
+            vpmaskmovd ymm1, ymm0, [rax+0x20]
+            cmp rax, 16
+            je start
+            ret
+        """
+        program = Program(source)
+        listing = disassemble(program)
+        # every mnemonic and the label survive
+        for token in ("start:", "mov", "vpmaskmovd", "[rax+0x20]", "je"):
+            assert token in listing
+        # the listing's instruction lines re-assemble to the same program
+        cleaned = "\n".join(
+            line.split(None, 1)[1] if line.strip()[0].isdigit() else line
+            for line in listing.splitlines()
+        )
+        instructions, labels = assemble(cleaned)
+        assert len(instructions) == len(program.instructions)
+        assert labels == program.labels
+
+    def test_negative_displacement_rendered(self):
+        listing = disassemble(Program("vpmaskmovd ymm1, ymm0, [rax-8]"))
+        assert "[rax-0x8]" in listing
+
+    def test_trailing_label(self):
+        listing = disassemble(Program("jmp end\nnop\nend:"))
+        assert listing.rstrip().endswith("end:")

@@ -1,0 +1,164 @@
+"""End-to-end KASLR breaks: Intel P2, AMD P3, KPTI trampoline, modules."""
+
+import pytest
+
+from repro.attacks.kaslr_break import (
+    break_kaslr,
+    break_kaslr_amd,
+    break_kaslr_intel,
+)
+from repro.attacks.kpti_break import break_kaslr_kpti
+from repro.attacks.module_detect import (
+    _runs_from_bitmap,
+    detect_modules,
+    region_accuracy,
+)
+from repro.errors import AttackError
+from repro.machine import Machine
+from repro.os.linux import layout
+
+
+class TestIntelBreak:
+    def test_finds_base(self, linux_machine):
+        result = break_kaslr_intel(linux_machine)
+        assert result.base == linux_machine.kernel.base
+        assert result.method == "intel-p2"
+
+    def test_slot_consistent(self, linux_machine):
+        result = break_kaslr_intel(linux_machine)
+        assert layout.kernel_base_of_slot(result.slot) == result.base
+
+    def test_mapped_run_covers_image(self, linux_machine):
+        result = break_kaslr_intel(linux_machine)
+        image_slots = set(range(
+            result.slot, result.slot + linux_machine.kernel.image_2m_pages
+        ))
+        assert image_slots <= set(result.mapped_slots)
+
+    def test_timings_bimodal(self, linux_machine):
+        result = break_kaslr_intel(linux_machine)
+        mapped = [result.timings[s] for s in result.mapped_slots]
+        unmapped = [
+            t for s, t in enumerate(result.timings)
+            if s not in set(result.mapped_slots)
+        ]
+        assert max(mapped) < result.threshold
+        assert min(unmapped) > result.threshold
+
+    def test_runtimes_positive_and_ordered(self, linux_machine):
+        result = break_kaslr_intel(linux_machine)
+        assert 0 < result.probing_ms < result.total_ms
+
+    def test_works_across_seeds(self):
+        for seed in range(5):
+            machine = Machine.linux(seed=seed)
+            result = break_kaslr_intel(machine)
+            assert result.base == machine.kernel.base
+
+    def test_dispatch_picks_intel(self, linux_machine):
+        assert break_kaslr(linux_machine).method == "intel-p2"
+
+
+class TestAmdBreak:
+    def test_finds_base(self, amd_machine):
+        result = break_kaslr_amd(amd_machine)
+        assert result.base == amd_machine.kernel.base
+        assert result.method == "amd-p3"
+
+    def test_rejected_on_intel(self, linux_machine):
+        with pytest.raises(AttackError):
+            break_kaslr_amd(linux_machine)
+
+    def test_dispatch_picks_amd(self, amd_machine):
+        assert break_kaslr(amd_machine).method == "amd-p3"
+
+    def test_votes_at_true_slot_dominant(self, amd_machine):
+        result = break_kaslr_amd(amd_machine)
+        true_slot = layout.kernel_slot_of(amd_machine.kernel.base)
+        assert result.timings[true_slot] == 5  # all five 4 KiB pages voted
+
+    def test_p2_fails_on_amd(self, amd_machine):
+        """The reason the paper needs P3 on Zen 3: P2 sees nothing."""
+        result = break_kaslr_intel(amd_machine)
+        assert result.base is None or result.base != amd_machine.kernel.base
+
+
+class TestKptiBreak:
+    def test_finds_base_through_trampoline(self, kpti_machine):
+        result = break_kaslr_kpti(kpti_machine)
+        assert result.base == kpti_machine.kernel.base
+        assert result.method == "kpti-trampoline"
+
+    def test_only_trampoline_visible(self, kpti_machine):
+        result = break_kaslr_kpti(kpti_machine)
+        assert len(result.mapped_slots) == 1
+
+    def test_paper_fixed_base_experiment(self):
+        """Section IV-D: nokaslr + KPTI -> fast slot at 0xffffffff81c00000."""
+        machine = Machine.linux(seed=3, kaslr=False, kpti=True)
+        assert machine.kernel.base == 0xFFFF_FFFF_8100_0000
+        result = break_kaslr_kpti(machine)
+        trampoline = layout.kernel_base_of_slot(result.mapped_slots[0])
+        assert trampoline == 0xFFFF_FFFF_81C0_0000
+        assert result.base == machine.kernel.base
+
+    def test_aws_offset(self):
+        machine = Machine.linux(
+            cpu="xeon-e5-2676", seed=4, kernel_version="5.11.0-1020-aws",
+            kpti=True,
+        )
+        assert machine.kernel.trampoline_offset == 0xE0_0000
+        result = break_kaslr_kpti(machine)
+        assert result.base == machine.kernel.base
+
+    def test_plain_break_fails_under_kpti(self, kpti_machine):
+        """Without trampoline knowledge, P2 finds the wrong 'base'."""
+        result = break_kaslr_intel(kpti_machine)
+        assert result.base != kpti_machine.kernel.base
+
+
+@pytest.fixture(scope="module")
+def module_detection():
+    """One full module-window scan shared by the assertions below."""
+    machine = Machine.linux(seed=777)
+    return machine, detect_modules(machine)
+
+
+class TestModuleDetection:
+    def test_runs_from_bitmap(self):
+        flags = [False, True, True, False, True, False]
+        runs = _runs_from_bitmap(flags, 0x1000)
+        assert runs == [(0x2000, 2), (0x5000, 1)]
+
+    def test_runs_tail_open(self):
+        runs = _runs_from_bitmap([True, True], 0x0)
+        assert runs == [(0x0, 2)]
+
+    def test_detects_all_modules(self, module_detection):
+        machine, result = module_detection
+        accuracy = region_accuracy(result, machine.kernel)
+        assert accuracy > 0.98
+
+    def test_unique_sizes_identified(self, module_detection):
+        machine, result = module_detection
+        for name in ("video", "mac_hid", "pinctrl_icelake", "bluetooth",
+                     "psmouse"):
+            assert result.address_of(name) == machine.kernel.module_map[name][0]
+
+    def test_ambiguous_pair_not_identified(self, module_detection):
+        """Figure 5: autofs4 and x_tables share a size."""
+        __, result = module_detection
+        assert result.address_of("autofs4") is None
+        assert result.address_of("x_tables") is None
+        ambiguous_names = {
+            frozenset(r.candidates) for r in result.ambiguous if r.candidates
+        }
+        assert frozenset({"autofs4", "x_tables"}) in ambiguous_names
+
+    def test_nineteen_identified(self, module_detection):
+        __, result = module_detection
+        assert len(result.identified) == 19
+
+    def test_runtimes(self, module_detection):
+        __, result = module_detection
+        assert 0 < result.probing_ms < result.total_ms

@@ -1,0 +1,106 @@
+"""Keystroke-timing inference and noisy-neighbour interference."""
+
+import pytest
+
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.attacks.keystrokes import KeystrokeSpy, KeystrokeTrace
+from repro.machine import Machine
+from repro.workloads.background import InterferenceHarness, NoisyNeighbor
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine.linux(cpu="i7-1065G7", seed=901)
+
+
+class TestKeystrokeTrace:
+    def test_perfect_match(self):
+        trace = KeystrokeTrace([0.10, 0.25], [0.10, 0.25], 0.005)
+        assert trace.recall() == 1.0
+        assert trace.false_detections() == []
+
+    def test_recall_with_missed_key(self):
+        trace = KeystrokeTrace([0.10], [0.10, 0.25], 0.005)
+        assert trace.recall() == 0.5
+
+    def test_false_detection(self):
+        trace = KeystrokeTrace([0.10, 0.90], [0.10], 0.005)
+        assert trace.false_detections() == [0.90]
+
+    def test_intervals(self):
+        trace = KeystrokeTrace([0.1, 0.25, 0.31], [], 0.005)
+        intervals = trace.inter_key_intervals()
+        assert intervals == pytest.approx([0.15, 0.06])
+
+    def test_empty_truth_recall(self):
+        assert KeystrokeTrace([], [], 0.005).recall() == 1.0
+
+
+class TestKeystrokeSpy:
+    def test_recovers_keystroke_times(self, machine):
+        spy = KeystrokeSpy(machine)
+        truth = [0.012, 0.055, 0.101, 0.142]
+        trace = spy.run(truth, duration_s=0.2, interval_s=0.005)
+        assert trace.recall(tolerance=0.006) == 1.0
+        assert len(trace.false_detections(tolerance=0.006)) == 0
+
+    def test_recovered_intervals_match_typing_cadence(self, machine):
+        spy = KeystrokeSpy(machine)
+        truth = [0.02, 0.10, 0.18]  # 80 ms cadence
+        trace = spy.run(truth, duration_s=0.25, interval_s=0.005)
+        intervals = trace.inter_key_intervals()
+        assert len(intervals) == 2
+        for interval in intervals:
+            assert abs(interval - 0.08) <= 0.011
+
+    def test_silence_detects_nothing(self, machine):
+        spy = KeystrokeSpy(machine)
+        trace = spy.run([], duration_s=0.1, interval_s=0.005)
+        assert trace.detected == []
+
+    def test_targets_hid_module_by_default(self, machine):
+        spy = KeystrokeSpy(machine)
+        assert spy.base == machine.kernel.module_map["hid"][0]
+
+
+class TestNoisyNeighbor:
+    def test_neighbor_needs_process(self):
+        with pytest.raises(ValueError):
+            NoisyNeighbor(Machine.windows(seed=1))
+
+    def test_neighbor_evicts_translations(self):
+        machine = Machine.linux(seed=902)
+        core = machine.core
+        target = machine.kernel.base
+        neighbor = NoisyNeighbor(machine, pressure=6000,
+                                 footprint_pages=4096, seed=3)
+        core.masked_load(target)
+        assert core.tlb.holds(target)
+        for _ in range(4):
+            neighbor.run()
+        # heavy pressure displaces the 2 MiB entry through sTLB conflicts
+        # with high probability; assert the weaker invariant that the
+        # neighbour touched state at all
+        assert machine.clock.cycles > 0
+
+    def test_attack_survives_moderate_interference(self):
+        def attack(machine, neighbor):
+            # the neighbour runs between calibration and probing
+            neighbor.run()
+            result = break_kaslr_intel(machine)
+            return result.base == machine.kernel.base
+
+        harness = InterferenceHarness(
+            lambda seed: Machine.linux(seed=seed), attack
+        )
+        results = harness.sweep([16, 256], trials=3, seed0=903)
+        assert results[16] == 1.0
+        assert results[256] == 1.0  # double-probing absorbs pollution
+
+    def test_interleave_returns_probe_result(self):
+        machine = Machine.linux(seed=904)
+        neighbor = NoisyNeighbor(machine, pressure=4, seed=5)
+        value = neighbor.interleave(
+            machine.core.timed_masked_load, machine.playground.user_rw
+        )
+        assert value > 0

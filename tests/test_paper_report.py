@@ -1,0 +1,47 @@
+"""The REPORT.md builder."""
+
+from repro.analysis.paper_report import SECTIONS, ReportStatus, build_report
+
+
+class TestBuildReport:
+    def test_assembles_present_artifacts(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig04_kaslr_probe.txt").write_text("FIG4 CONTENT")
+        (results / "table1_runtime_accuracy.txt").write_text("TABLE1")
+        status = build_report(results, tmp_path / "REPORT.md")
+        text = (tmp_path / "REPORT.md").read_text()
+        assert "FIG4 CONTENT" in text
+        assert "TABLE1" in text
+        assert "Figure 4" in text
+        assert "fig04_kaslr_probe" in status.included
+
+    def test_missing_artifacts_listed(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        status = build_report(results, tmp_path / "REPORT.md")
+        assert not status.complete
+        assert len(status.missing) == len(SECTIONS)
+        assert "Missing artifacts" in (tmp_path / "REPORT.md").read_text()
+
+    def test_paper_order_preserved(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        for stem, __ in SECTIONS:
+            (results / (stem + ".txt")).write_text(stem.upper())
+        status = build_report(results, tmp_path / "REPORT.md")
+        assert status.complete
+        text = (tmp_path / "REPORT.md").read_text()
+        positions = [text.index(stem.upper()) for stem, __ in SECTIONS]
+        assert positions == sorted(positions)
+
+    def test_default_output_location(self, tmp_path):
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        status = build_report(results)
+        assert status.path == tmp_path / "REPORT.md"
+        assert status.path.exists()
+
+    def test_status_repr(self):
+        status = ReportStatus(["a"], ["b"], None)
+        assert "1/2" in repr(status)

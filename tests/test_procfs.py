@@ -1,0 +1,94 @@
+"""Text-format procfs rendering and parsing."""
+
+import pytest
+
+from repro.os.linux.kernel import LinuxKernel
+from repro.os.linux.process import Process
+from repro.os.linux.procfs import (
+    module_sizes_from_proc,
+    parse_kallsyms,
+    parse_maps,
+    parse_proc_modules,
+    render_kallsyms,
+    render_maps,
+    render_proc_modules,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return LinuxKernel(seed=808)
+
+
+@pytest.fixture(scope="module")
+def process(kernel):
+    return Process(kernel)
+
+
+class TestProcModules:
+    def test_roundtrip(self, kernel):
+        text = render_proc_modules(kernel, privileged=True)
+        entries = parse_proc_modules(text)
+        assert len(entries) == 125
+        by_name = {name: (size, addr) for name, size, addr in entries}
+        size, addr = by_name["video"]
+        assert addr == kernel.module_map["video"][0]
+
+    def test_unprivileged_hides_addresses(self, kernel):
+        """kptr_restrict: the attack sees sizes, never addresses."""
+        entries = parse_proc_modules(render_proc_modules(kernel))
+        assert all(addr == 0 for __, __, addr in entries)
+        assert all(size > 0 for __, size, __ in entries)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_proc_modules("video 53248\n")
+
+    def test_module_sizes_from_proc(self, kernel):
+        sizes = module_sizes_from_proc(kernel)
+        assert sizes["video"] == 13
+        assert sizes["autofs4"] == sizes["x_tables"] == 11
+
+
+class TestKallsyms:
+    def test_privileged_roundtrip(self, kernel):
+        symbols = parse_kallsyms(render_kallsyms(kernel, privileged=True))
+        assert symbols["_text"] == kernel.base
+        assert symbols["sys_read"] == kernel.functions["sys_read"]
+
+    def test_unprivileged_zeroed(self, kernel):
+        symbols = parse_kallsyms(render_kallsyms(kernel))
+        assert all(address == 0 for address in symbols.values())
+
+    def test_sorted_by_address(self, kernel):
+        text = render_kallsyms(kernel, privileged=True)
+        addresses = [int(line.split()[0], 16) for line in text.splitlines()]
+        assert addresses == sorted(addresses)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_kallsyms("deadbeef T\n")
+
+
+class TestMaps:
+    def test_roundtrip(self, process):
+        regions = parse_maps(render_maps(process))
+        truth = process.maps()
+        assert len(regions) == len(truth)
+        starts = {start for start, *_ in regions}
+        assert process.text_base in starts
+
+    def test_hidden_pages_absent(self, process):
+        regions = parse_maps(render_maps(process))
+        hidden = {r.start for r in process.all_regions() if r.hidden}
+        shown = {start for start, *_ in regions}
+        assert not hidden & shown
+
+    def test_perms_field(self, process):
+        regions = parse_maps(render_maps(process))
+        text_region = next(
+            (start, end, perms, name)
+            for start, end, perms, name in regions
+            if start == process.text_base
+        )
+        assert text_region[2] == "r-x"

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the MMU substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mmu.address import (
+    PAGE_SIZE,
+    PAGE_SIZE_2M,
+    is_canonical,
+    page_align_down,
+    page_align_up,
+    split_indices,
+)
+from repro.mmu.flags import PageFlags, flags_from_prot
+from repro.mmu.pagetable import PageTable
+from repro.mmu.psc import PagingStructureCache
+from repro.mmu.tlb import TLB, TLBEntry
+
+#: canonical user-half addresses
+user_vas = st.integers(min_value=0, max_value=0x0000_7FFF_FFFF_FFFF)
+#: canonical kernel-half addresses
+kernel_vas = st.integers(
+    min_value=0xFFFF_8000_0000_0000, max_value=0xFFFF_FFFF_FFFF_FFFF
+)
+canonical_vas = st.one_of(user_vas, kernel_vas)
+page_bases = user_vas.map(lambda va: page_align_down(va))
+
+
+class TestAddressProperties:
+    @given(canonical_vas)
+    def test_canonical_addresses_accepted(self, va):
+        assert is_canonical(va)
+
+    @given(canonical_vas)
+    def test_split_indices_in_range(self, va):
+        indices = split_indices(va)
+        assert len(indices) == 4
+        assert all(0 <= i <= 511 for i in indices)
+
+    @given(canonical_vas)
+    def test_indices_reconstruct_address(self, va):
+        """The four indices plus the page offset fully determine the VA."""
+        pml4, pdpt, pd, pt = split_indices(va)
+        rebuilt = (pml4 << 39) | (pdpt << 30) | (pd << 21) | (pt << 12)
+        rebuilt |= va & 0xFFF
+        if pml4 >= 256:  # kernel half: sign extension
+            rebuilt |= 0xFFFF_0000_0000_0000
+        assert rebuilt == va
+
+    @given(user_vas)
+    def test_align_sandwich(self, va):
+        down = page_align_down(va)
+        up = page_align_up(va)
+        assert down <= va <= up
+        assert up - down in (0, PAGE_SIZE)
+        assert down % PAGE_SIZE == 0 and up % PAGE_SIZE == 0
+
+
+class TestPageTableProperties:
+    @given(st.lists(page_bases, min_size=1, max_size=20, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_map_lookup_roundtrip(self, bases):
+        table = PageTable()
+        flags = flags_from_prot(read=True, write=True)
+        for pfn, base in enumerate(bases, start=1):
+            table.map(base, pfn, flags)
+        for pfn, base in enumerate(bases, start=1):
+            translation = table.lookup(base).translation
+            assert translation is not None
+            assert translation.pfn == pfn
+
+    @given(st.lists(page_bases, min_size=1, max_size=20, unique=True),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_unmap_removes_exactly_target(self, bases, data):
+        table = PageTable()
+        flags = flags_from_prot(read=True)
+        for pfn, base in enumerate(bases, start=1):
+            table.map(base, pfn, flags)
+        victim = data.draw(st.sampled_from(bases))
+        table.unmap(victim)
+        for base in bases:
+            assert table.is_mapped(base) == (base != victim)
+
+    @given(st.lists(page_bases, min_size=1, max_size=16, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_iter_terminal_matches_mappings(self, bases):
+        table = PageTable()
+        flags = flags_from_prot(read=True)
+        for pfn, base in enumerate(bases, start=1):
+            table.map(base, pfn, flags)
+        found = sorted(base for base, __, __ in table.iter_terminal())
+        assert found == sorted(bases)
+
+    @given(page_bases, user_vas)
+    @settings(max_examples=100, deadline=None)
+    def test_unmapped_addresses_never_translate(self, mapped, probe):
+        table = PageTable()
+        table.map(mapped, 1, flags_from_prot(read=True))
+        lookup = table.lookup(probe)
+        if page_align_down(probe) != mapped:
+            assert not lookup.present
+        else:
+            assert lookup.present
+
+
+class TestTLBProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, vpns):
+        tlb = TLB(entries=16, ways=4)
+        flags = PageFlags.PRESENT | PageFlags.USER
+        for vpn in vpns:
+            tlb.fill(TLBEntry(vpn, vpn, flags, PAGE_SIZE))
+        assert tlb.occupancy() <= 16
+        for bucket in tlb._sets:
+            assert len(bucket) <= 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_fill_always_resident(self, vpns):
+        tlb = TLB(entries=16, ways=4)
+        flags = PageFlags.PRESENT | PageFlags.USER
+        for vpn in vpns:
+            tlb.fill(TLBEntry(vpn, vpn, flags, PAGE_SIZE))
+        assert tlb.lookup(vpns[-1], PAGE_SIZE) is not None
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24),
+                    min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_flush_empties(self, vpns):
+        tlb = TLB(entries=16, ways=4)
+        flags = PageFlags.PRESENT
+        for vpn in vpns:
+            tlb.fill(TLBEntry(vpn, vpn, flags, PAGE_SIZE))
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+
+class TestPSCProperties:
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=511),
+            st.integers(min_value=0, max_value=511),
+            st.integers(min_value=0, max_value=511),
+            st.integers(min_value=0, max_value=2),
+        ),
+        min_size=1, max_size=100,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_hit_level_never_exceeds_filled(self, fills):
+        psc = PagingStructureCache()
+        filled = set()
+        for pml4, pdpt, pd, level in fills:
+            indices = (pml4, pdpt, pd, 0)
+            psc.fill(indices, level, node_id=1)
+            filled.add((indices[: level + 1], level))
+        for pml4, pdpt, pd, __ in fills:
+            indices = (pml4, pdpt, pd, 0)
+            hit = psc.deepest_hit(indices)
+            if hit is not None:
+                # every reported hit corresponds to a prior fill whose key
+                # prefix matches
+                assert any(
+                    key == indices[: lvl + 1] and lvl == hit
+                    for key, lvl in filled
+                ) or hit < 3
+
+    @given(st.integers(min_value=0, max_value=511))
+    def test_occupancy_bounded(self, index):
+        psc = PagingStructureCache(pml4e_entries=2, pdpte_entries=2,
+                                   pde_entries=2)
+        for i in range(10):
+            psc.fill((index, i, 0, 0), 1, node_id=i)
+        assert psc.occupancy()[1] <= 2

@@ -1,0 +1,135 @@
+"""Property-based tests for the timing model's invariants.
+
+These pin the *relations* the attacks depend on, across arbitrary CPU
+models from the catalog and arbitrary noise seeds -- not just the specific
+calibrated values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import Core
+from repro.cpu.models import CPU_CATALOG, get_cpu_model
+from repro.mmu.address import PAGE_SIZE, PAGE_SIZE_2M
+from repro.mmu.flags import PageFlags, flags_from_prot
+from repro.mmu.pagetable import AddressSpace
+
+cpu_keys = st.sampled_from(sorted(CPU_CATALOG))
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _machine_core(cpu_key, seed):
+    space = AddressSpace()
+    space.map_range(0x10_0000, PAGE_SIZE, flags_from_prot(read=True, write=True))
+    kva = 0xFFFF_FFFF_8000_0000
+    space.map_range(kva, PAGE_SIZE_2M, PageFlags.PRESENT, PAGE_SIZE_2M)
+    core = Core(get_cpu_model(cpu_key), seed=seed)
+    core.set_address_space(space)
+    return core, space, 0x10_0000, kva
+
+
+class TestTimingInvariants:
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_user_mapped_is_fastest_mode(self, cpu_key, seed):
+        core, space, user, kernel = _machine_core(cpu_key, seed)
+        core.masked_load(user)
+        core.masked_load(kernel)
+        t_user = core.masked_load(user).cycles
+        t_kernel = core.masked_load(kernel).cycles
+        t_unmapped = core.masked_load(user + PAGE_SIZE).cycles
+        assert t_user < t_kernel
+        assert t_user < t_unmapped
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_intel_p2_amd_no_p2(self, cpu_key, seed):
+        """Mapped kernel beats unmapped kernel iff the TLB fills."""
+        core, space, __, kernel = _machine_core(cpu_key, seed)
+        unmapped_k = kernel + PAGE_SIZE_2M
+        core.masked_load(kernel)
+        core.masked_load(unmapped_k)
+        t_mapped = core.masked_load(kernel).cycles
+        t_unmapped = core.masked_load(unmapped_k).cycles
+        if core.cpu.fills_tlb_for_supervisor_user_probe:
+            assert t_mapped < t_unmapped
+        else:
+            assert abs(t_mapped - t_unmapped) <= core.cpu.level_step_cycles
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_store_beats_load_on_kernel_pages(self, cpu_key, seed):
+        """P6 holds across the whole catalog."""
+        core, __, __, kernel = _machine_core(cpu_key, seed)
+        core.masked_load(kernel)
+        t_load = core.masked_load(kernel).cycles
+        t_store = core.masked_store(kernel).cycles
+        assert t_store < t_load
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_always_slows_next_access(self, cpu_key, seed):
+        core, __, user, __ = _machine_core(cpu_key, seed)
+        core.masked_load(user)
+        warm = core.masked_load(user).cycles
+        core.evict_translation_caches()
+        cold = core.masked_load(user).cycles
+        assert cold > warm
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_measured_at_least_true_plus_overhead(self, cpu_key, seed):
+        core, __, user, __ = _machine_core(cpu_key, seed)
+        core.masked_load(user)
+        true_cycles = core.masked_load(user).cycles
+        measured = core.timed_masked_load(user)
+        assert measured >= true_cycles + core.cpu.measurement_overhead
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_clock_monotone_under_any_op_sequence(self, cpu_key, seed):
+        core, __, user, kernel = _machine_core(cpu_key, seed)
+        last = core.clock.cycles
+        for op in (core.masked_load, core.masked_store,
+                   core.timed_masked_load, core.timed_masked_store):
+            op(user)
+            assert core.clock.cycles > last
+            last = core.clock.cycles
+
+    @given(cpu_keys, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_identity_across_catalog(self, cpu_key, seed):
+        """Store-on-clean-USER-M ~ kernel-mapped-load, per Section IV-B.
+
+        AMD is exempt: its kernel loads never TLB-hit, so the identity is
+        defined differently there (the attack does not use it).
+        """
+        cpu = get_cpu_model(cpu_key)
+        if not cpu.fills_tlb_for_supervisor_user_probe:
+            return
+        core, __, user, kernel = _machine_core(cpu_key, seed)
+        core.masked_load(kernel)
+        core.masked_store(user)      # warm the user page's TLB entry
+        t_kernel_load = core.masked_load(kernel).cycles
+        t_store = core.masked_store(user).cycles
+        assert abs(t_store - t_kernel_load) <= 2
+
+
+class TestNoiseInvariants:
+    @given(cpu_keys, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_noise_only_inflates(self, cpu_key, seed):
+        core, __, user, __ = _machine_core(cpu_key, seed)
+        core.masked_load(user)
+        floor = core.masked_load(user).cycles + core.cpu.measurement_overhead
+        for _ in range(20):
+            assert core.timed_masked_load(user) >= floor
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_measurements(self, seed):
+        a_core, *_ , __ = _machine_core("i5-12400F", seed)
+        b_core, *_ , __ = _machine_core("i5-12400F", seed)
+        a = [a_core.timed_masked_load(0x10_0000) for _ in range(10)]
+        b = [b_core.timed_masked_load(0x10_0000) for _ in range(10)]
+        assert a == b

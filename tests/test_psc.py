@@ -1,0 +1,107 @@
+"""Paging-structure caches and the paging-line cache."""
+
+from repro.mmu.psc import PagingLineCache, PagingStructureCache
+
+
+class TestPagingStructureCache:
+    def test_empty_has_no_hits(self):
+        psc = PagingStructureCache()
+        assert psc.deepest_hit((1, 2, 3, 4)) is None
+
+    def test_fill_and_hit_each_level(self):
+        psc = PagingStructureCache()
+        indices = (10, 20, 30, 40)
+        psc.fill(indices, 0, node_id=100)
+        assert psc.deepest_hit(indices) == 0
+        psc.fill(indices, 1, node_id=101)
+        assert psc.deepest_hit(indices) == 1
+        psc.fill(indices, 2, node_id=102)
+        assert psc.deepest_hit(indices) == 2
+
+    def test_pt_level_never_cached(self):
+        psc = PagingStructureCache()
+        psc.fill((1, 2, 3, 4), 3, node_id=50)
+        assert psc.deepest_hit((1, 2, 3, 4)) is None
+
+    def test_key_is_prefix(self):
+        psc = PagingStructureCache()
+        psc.fill((1, 2, 3, 4), 2, node_id=7)
+        # same PML4/PDPT/PD prefix, different PT index: still a PDE hit
+        assert psc.deepest_hit((1, 2, 3, 99)) == 2
+        # different PD index: no PDE hit
+        assert psc.deepest_hit((1, 2, 4, 4)) is None
+
+    def test_lru_eviction(self):
+        psc = PagingStructureCache(pde_entries=2)
+        psc.fill((1, 1, 1, 0), 2, node_id=1)
+        psc.fill((1, 1, 2, 0), 2, node_id=2)
+        psc.fill((1, 1, 3, 0), 2, node_id=3)  # evicts (1,1,1)
+        assert psc.deepest_hit((1, 1, 1, 0)) is None
+        assert psc.deepest_hit((1, 1, 3, 0)) == 2
+
+    def test_lru_refresh_on_hit(self):
+        psc = PagingStructureCache(pde_entries=2)
+        psc.fill((1, 1, 1, 0), 2, node_id=1)
+        psc.fill((1, 1, 2, 0), 2, node_id=2)
+        psc.deepest_hit((1, 1, 1, 0))          # refresh entry 1
+        psc.fill((1, 1, 3, 0), 2, node_id=3)   # should evict entry 2
+        assert psc.deepest_hit((1, 1, 1, 0)) == 2
+        assert psc.deepest_hit((1, 1, 2, 0)) is None
+
+    def test_invalidate_address(self):
+        psc = PagingStructureCache()
+        indices = (5, 6, 7, 8)
+        for level in (0, 1, 2):
+            psc.fill(indices, level, node_id=level)
+        psc.invalidate_address(indices)
+        assert psc.deepest_hit(indices) is None
+
+    def test_invalidate_spares_other_addresses(self):
+        psc = PagingStructureCache()
+        psc.fill((5, 6, 7, 0), 2, node_id=1)
+        psc.fill((5, 6, 8, 0), 2, node_id=2)
+        psc.invalidate_address((5, 6, 7, 0))
+        assert psc.deepest_hit((5, 6, 8, 0)) == 2
+
+    def test_flush(self):
+        psc = PagingStructureCache()
+        psc.fill((1, 2, 3, 0), 2, node_id=1)
+        psc.flush()
+        assert psc.occupancy() == {0: 0, 1: 0, 2: 0}
+
+
+class TestPagingLineCache:
+    def test_first_access_cold(self):
+        cache = PagingLineCache()
+        assert cache.access(1, 0) is False
+
+    def test_second_access_hot(self):
+        cache = PagingLineCache()
+        cache.access(1, 0)
+        assert cache.access(1, 0) is True
+
+    def test_line_granularity_covers_eight_slots(self):
+        cache = PagingLineCache()
+        cache.access(1, 8)
+        assert cache.access(1, 15) is True   # same 64-byte line
+        assert cache.access(1, 16) is False  # next line
+
+    def test_different_structures_do_not_alias(self):
+        cache = PagingLineCache()
+        cache.access(1, 0)
+        assert cache.access(2, 0) is False
+
+    def test_capacity_eviction(self):
+        cache = PagingLineCache(capacity_lines=2)
+        cache.access(1, 0)
+        cache.access(2, 0)
+        cache.access(3, 0)
+        assert cache.is_hot(3, 0)
+        assert not cache.is_hot(1, 0)
+
+    def test_flush(self):
+        cache = PagingLineCache()
+        cache.access(1, 0)
+        cache.flush()
+        assert not cache.is_hot(1, 0)
+        assert len(cache) == 0

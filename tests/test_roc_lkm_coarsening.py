@@ -1,0 +1,158 @@
+"""ROC analysis, the experiment LKM, and timer-coarsening defense."""
+
+import pytest
+
+from repro.analysis.roc import (
+    auc,
+    classifier_auc,
+    roc_curve,
+    youden_threshold,
+)
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.attacks.userspace import identify_libraries
+from repro.defenses.timer_coarsening import (
+    evaluate_timer_coarsening,
+    evaluate_tlb_attack_coarsening,
+)
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.os.linux.lkm import ExperimentLKM
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        points = roc_curve([1, 2, 3], [10, 11, 12])
+        assert auc(points) == 1.0
+
+    def test_random_classifier_near_half(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        a = list(rng.normal(100, 5, 400))
+        b = list(rng.normal(100, 5, 400))
+        assert abs(classifier_auc(a, b) - 0.5) < 0.08
+
+    def test_auc_monotone_in_separation(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        base = list(rng.normal(100, 5, 300))
+        close = list(rng.normal(104, 5, 300))
+        far = list(rng.normal(130, 5, 300))
+        assert classifier_auc(base, far) > classifier_auc(base, close)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve([], [1])
+
+    def test_youden_picks_separating_threshold(self):
+        points = roc_curve([1, 2, 3], [10, 11, 12])
+        threshold, j = youden_threshold(points)
+        assert 3 <= threshold < 10
+        assert j == 1.0
+
+    def test_real_scan_auc_is_one(self):
+        machine = Machine.linux(seed=980)
+        result = break_kaslr_intel(machine)
+        mapped = [result.timings[s] for s in result.mapped_slots]
+        unmapped = [
+            t for i, t in enumerate(result.timings)
+            if i not in set(result.mapped_slots)
+        ]
+        assert classifier_auc(mapped, unmapped) == 1.0
+
+
+class TestExperimentLKM:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        machine = Machine.linux(cpu="i7-1065G7", seed=981)
+        return machine, ExperimentLKM(machine)
+
+    def test_linux_only(self):
+        with pytest.raises(ConfigError):
+            ExperimentLKM(Machine.windows(seed=1))
+
+    def test_read_pte_kernel_page(self, setup):
+        machine, lkm = setup
+        present, perms, size, pfn = lkm.read_pte(machine.kernel.base)
+        assert present
+        assert perms == "r-x"
+        assert size == 2 << 20
+
+    def test_read_pte_unmapped(self, setup):
+        machine, lkm = setup
+        present, perms, __, __ = lkm.read_pte(machine.playground.unmapped)
+        assert not present and perms == "---"
+
+    def test_read_pte_noncanonical_rejected(self, setup):
+        __, lkm = setup
+        with pytest.raises(ConfigError):
+            lkm.read_pte(0x1234_0000_0000_0000)
+
+    def test_invlpg_drops_translation(self, setup):
+        machine, lkm = setup
+        core = machine.core
+        page = machine.playground.user_rw
+        core.masked_load(page)
+        assert core.tlb.holds(page)
+        lkm.invlpg(page)
+        assert not core.tlb.holds(page)
+
+    def test_verify_permission_map_confirms_figure7(self, setup):
+        """The paper's LKM verification step, replayed end to end."""
+        machine, lkm = setup
+        identification = identify_libraries(machine)
+        mismatches = lkm.verify_permission_map(
+            identification.permission_map
+        )
+        assert mismatches == []
+
+    def test_verify_catches_planted_error(self, setup):
+        machine, lkm = setup
+        bogus = {machine.playground.user_rw: "---"}
+        assert lkm.verify_permission_map(bogus) == [
+            machine.playground.user_rw
+        ]
+
+    def test_count_mappings_matches_image(self, setup):
+        machine, lkm = setup
+        kernel = machine.kernel
+        count = lkm.count_mappings(
+            kernel.base, kernel.base + kernel.image_2m_pages * (2 << 20),
+            2 << 20,
+        )
+        assert count == kernel.image_2m_pages
+
+    def test_call_log_records_everything(self, setup):
+        __, lkm = setup
+        ops = [op for op, __ in lkm.call_log]
+        assert "read_pte" in ops and "invlpg" in ops
+
+
+class TestTimerCoarsening:
+    def test_full_precision_attack_succeeds(self):
+        outcome = evaluate_timer_coarsening(resolutions=(1,), trials=3)
+        assert outcome.results[1] == 1.0
+
+    def test_coarse_timer_kills_p2(self):
+        outcome = evaluate_timer_coarsening(
+            resolutions=(1, 64, 128), trials=3
+        )
+        assert outcome.results[64] < 0.5
+        assert outcome.finest_defeated() == 64
+
+    def test_tlb_attack_same_gap_same_fate(self):
+        outcome = evaluate_tlb_attack_coarsening(
+            resolutions=(1, 8, 64), trials=2
+        )
+        assert outcome.results[1] == 1.0
+        assert outcome.results[8] == 1.0
+        assert outcome.results[64] < 0.5
+
+    def test_resolution_applied_to_measurements(self):
+        machine = Machine.linux(seed=982)
+        machine.core.timer_resolution = 32
+        page = machine.playground.user_rw
+        machine.core.masked_load(page)
+        for _ in range(20):
+            assert machine.core.timed_masked_load(page) % 32 == 0

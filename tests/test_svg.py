@@ -1,0 +1,99 @@
+"""The dependency-free SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import Axes, histogram, line_series, scatter
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestAxes:
+    def test_x_mapping_monotone(self):
+        axes = Axes((0, 100), (0, 1))
+        assert axes.x(0) < axes.x(50) < axes.x(100)
+
+    def test_y_mapping_inverted(self):
+        axes = Axes((0, 1), (0, 100))
+        assert axes.y(100) < axes.y(0)  # SVG y grows downward
+
+    def test_degenerate_ranges_survive(self):
+        axes = Axes((5, 5), (7, 7))
+        assert axes.x(5) >= 0 and axes.y(7) >= 0
+
+
+class TestScatter:
+    def test_valid_xml_with_all_points(self):
+        svg = scatter([(i, 100 + i % 3) for i in range(50)], title="t")
+        root = _parse(svg)
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 50
+
+    def test_highlight_colors_differ(self):
+        svg = scatter(
+            [(0, 1), (1, 2)], highlight=lambda x, y: x == 0
+        )
+        assert "#c0392b" in svg and "#2c5f8a" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([])
+
+    def test_clamps_outliers_into_fixed_range(self):
+        svg = scatter([(0, 100), (1, 9999)], y_range=(90, 120))
+        root = _parse(svg)
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        ys = [float(c.get("cy")) for c in circles]
+        axes = Axes((0, 1), (90, 120))
+        assert min(ys) >= axes.y(120) - 0.1
+
+
+class TestLineSeries:
+    def test_paths_per_series(self):
+        svg = line_series(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 3), (1, 1)]}, title="t"
+        )
+        root = _parse(svg)
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == 2
+
+    def test_bands_render_rects(self):
+        svg = line_series(
+            {"a": [(0, 1), (10, 2)]}, bands=[(2, 4), (6, 8)]
+        )
+        assert svg.count("#aed6f1") == 2
+
+    def test_legend_labels_present(self):
+        svg = line_series({"bluetooth": [(0, 1), (1, 2)]})
+        assert "bluetooth" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_series({"a": []})
+
+
+class TestHistogram:
+    def test_bars_cover_sample(self):
+        svg = histogram([1, 1, 2, 2, 2, 9], bins=8)
+        root = _parse(svg)
+        bars = [
+            e for e in root.iter()
+            if e.tag.endswith("rect") and e.get("fill-opacity") == "0.85"
+        ]
+        assert len(bars) >= 2
+
+    def test_constant_sample(self):
+        svg = histogram([5, 5, 5])
+        assert _parse(svg) is not None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_title_escaped(self):
+        svg = histogram([1, 2], title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+        _parse(svg)  # must stay well-formed

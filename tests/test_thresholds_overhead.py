@@ -1,0 +1,106 @@
+"""Threshold strategies and mitigation-overhead evaluation."""
+
+import pytest
+
+from repro.analysis.thresholds import compare_strategies, otsu, oracle, valley
+from repro.attacks.kaslr_break import break_kaslr_intel
+from repro.defenses.overhead import (
+    fgkaslr_overhead,
+    flare_overhead,
+    nop_mask_overhead,
+)
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def labelled_scan():
+    machine = Machine.linux(seed=600)
+    result = break_kaslr_intel(machine)
+    mapped = [result.timings[s] for s in result.mapped_slots]
+    unmapped = [
+        t for i, t in enumerate(result.timings)
+        if i not in set(result.mapped_slots)
+    ]
+    return mapped, unmapped, result.threshold
+
+
+class TestOtsu:
+    def test_separates_clean_bimodal(self):
+        values = [100] * 50 + [200] * 50
+        threshold = otsu(values)
+        assert 100 < threshold < 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            otsu([])
+
+    def test_constant_sample(self):
+        assert otsu([5, 5, 5]) == 5
+
+    def test_spike_resistant(self):
+        values = [100] * 50 + [120] * 50 + [5000] * 2
+        threshold = otsu(values)
+        assert 100 < threshold < 120
+
+    def test_matches_oracle_on_real_scan(self, labelled_scan):
+        mapped, unmapped, __ = labelled_scan
+        threshold = otsu(mapped + unmapped)
+        oracle_threshold, oracle_errors = oracle(mapped, unmapped)
+        fn = sum(1 for v in mapped if v > threshold)
+        fp = sum(1 for v in unmapped if v <= threshold)
+        assert fn + fp <= oracle_errors + 2
+
+
+class TestValley:
+    def test_separates_clean_bimodal(self):
+        values = [100 + (i % 3) for i in range(60)] + \
+                 [200 + (i % 3) for i in range(60)]
+        threshold = valley(values)
+        assert 102 < threshold < 200
+
+    def test_returns_in_range(self, labelled_scan):
+        mapped, unmapped, __ = labelled_scan
+        pooled = mapped + unmapped
+        threshold = valley(pooled)
+        assert min(pooled) <= threshold <= max(pooled)
+
+
+class TestOracleAndComparison:
+    def test_oracle_perfect_on_separable(self):
+        __, errors = oracle([1, 2, 3], [10, 11, 12])
+        assert errors == 0
+
+    def test_paper_threshold_near_oracle(self, labelled_scan):
+        """The store-identity calibration is as good as label knowledge."""
+        mapped, unmapped, paper_threshold = labelled_scan
+        report = compare_strategies(mapped, unmapped, paper_threshold)
+        __, fn, fp = report["paper (store identity)"]
+        assert fn == 0 and fp == 0
+        __, fn, fp = report["otsu"]
+        assert fn == 0 and fp == 0
+
+    def test_report_contains_all_strategies(self, labelled_scan):
+        mapped, unmapped, paper_threshold = labelled_scan
+        report = compare_strategies(mapped, unmapped, paper_threshold)
+        assert set(report) == {
+            "otsu", "valley", "oracle", "paper (store identity)"
+        }
+
+
+class TestOverheads:
+    def test_nop_mask_has_no_legitimate_cost(self):
+        """The fix only touches the all-zero-mask path."""
+        report = nop_mask_overhead(iterations=400)
+        assert report.metrics["slowdown"] == pytest.approx(1.0, abs=0.01)
+
+    def test_flare_costs_about_a_gib(self):
+        """Backing ~1 GiB of kernel window with dummies costs frames."""
+        report = flare_overhead()
+        assert report.metrics["extra_frames"] > 0
+        assert 900 < report.metrics["extra_mib"] < 1200
+
+    def test_fgkaslr_inflates_kernel_walks(self):
+        report = fgkaslr_overhead(touches=800)
+        assert report.metrics["walks_per_touch_4k"] > \
+            report.metrics["walks_per_touch_2m"]
+        assert report.metrics["walk_inflation"] > 10
