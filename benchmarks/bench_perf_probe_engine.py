@@ -1,0 +1,176 @@
+"""Wall-clock speedup of the batched probe engine over the per-op path.
+
+Three workloads, all measured host-side (the simulated clocks of both
+paths are identical by construction -- see tests/test_probe_engine.py):
+
+* the Figure-4 512-slot KASLR sweep at distribution quality (16 rounds
+  per slot, the kind of sweep the per-slot timing statistics need),
+* the Table-I attacks (base break on three CPUs, module detection),
+  batched vs per-op, with the recovered outcomes cross-checked,
+* the full scenario suite, per-op serial (the pre-engine execution
+  model) vs the shipped ``suite --jobs 4`` invocation.
+
+The numbers land in ``BENCH_probe_engine.json`` at the repo root so the
+perf trajectory is tracked from this change onward.
+"""
+
+import json
+import pathlib
+import time
+
+from _bench_utils import once, write_result
+
+from repro.analysis.report import format_table
+from repro.attacks.kaslr_break import break_kaslr
+from repro.attacks.module_detect import detect_modules, region_accuracy
+from repro.attacks.primitives import double_probe_load
+from repro.machine import Machine
+from repro.os.linux import layout
+from repro.scenarios import run_scenario, run_suite
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_probe_engine.json"
+SCENARIO_DIR = REPO_ROOT / "scenarios"
+
+#: rounds per slot for the Fig.-4 distribution sweep
+SWEEP_ROUNDS = 16
+SUITE_JOBS = 4
+
+
+def _wall(fn, repeats=3):
+    """Best-of-N wall-clock seconds (each call gets a fresh machine)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _kernel_slot_vas():
+    return [
+        layout.kernel_base_of_slot(slot)
+        for slot in range(layout.KERNEL_TEXT_SLOTS)
+    ]
+
+
+def _fig4_sweep_per_op():
+    machine = Machine.linux(seed=4)
+    for va in _kernel_slot_vas():
+        double_probe_load(machine.core, va, rounds=SWEEP_ROUNDS)
+
+
+def _fig4_sweep_batched():
+    machine = Machine.linux(seed=4)
+    machine.core.probe_sweep(_kernel_slot_vas(), rounds=SWEEP_ROUNDS,
+                             op="load")
+
+
+def _bench_fig4():
+    per_op = _wall(_fig4_sweep_per_op)
+    batched = _wall(_fig4_sweep_batched)
+    return {
+        "slots": layout.KERNEL_TEXT_SLOTS,
+        "rounds": SWEEP_ROUNDS,
+        "per_op_s": round(per_op, 4),
+        "batched_s": round(batched, 4),
+        "speedup": round(per_op / batched, 2),
+    }
+
+
+def _bench_table1():
+    rows = []
+    for cpu, target, seed in (
+        ("i5-12400F", "base", 12),
+        ("i7-1065G7", "base", 15),
+        ("ryzen5-5600X", "base", 13),
+        ("i5-12400F", "modules", 12),
+    ):
+        if target == "base":
+            def attack(batched):
+                machine = Machine.linux(cpu=cpu, seed=seed)
+                result = break_kaslr(machine, batched=batched)
+                assert result.base == machine.kernel.base
+                return result.base
+        else:
+            def attack(batched):
+                machine = Machine.linux(cpu=cpu, seed=seed)
+                result = detect_modules(machine, batched=batched)
+                assert region_accuracy(result, machine.kernel) >= 0.98
+                return sorted(result.identified.items())
+        reference = attack(batched=False)
+        assert attack(batched=True) == reference
+        per_op = _wall(lambda: attack(batched=False))
+        batched = _wall(lambda: attack(batched=True))
+        rows.append({
+            "cpu": cpu,
+            "target": target,
+            "per_op_s": round(per_op, 4),
+            "batched_s": round(batched, 4),
+            "speedup": round(per_op / batched, 2),
+            "outcome_equal": True,
+        })
+    return rows
+
+
+def _suite_per_op_serial():
+    for path in sorted(SCENARIO_DIR.glob("*.json")):
+        spec = json.loads(path.read_text())
+        spec["attack"]["batched"] = False
+        result = run_scenario(spec)
+        assert result.passed, (path.name, result.violations)
+
+
+def _suite_batched_jobs():
+    results = run_suite(SCENARIO_DIR, jobs=SUITE_JOBS)
+    assert all(r.passed for r in results)
+
+
+def _bench_suite():
+    scenarios = len(list(SCENARIO_DIR.glob("*.json")))
+    per_op = _wall(_suite_per_op_serial, repeats=2)
+    batched = _wall(_suite_batched_jobs, repeats=2)
+    return {
+        "scenarios": scenarios,
+        "jobs": SUITE_JOBS,
+        "per_op_serial_s": round(per_op, 4),
+        "batched_jobs_s": round(batched, 4),
+        "speedup": round(per_op / batched, 2),
+    }
+
+
+def run_probe_engine():
+    fig4 = _bench_fig4()
+    table1 = _bench_table1()
+    suite = _bench_suite()
+
+    # the engine's reason to exist: sweeps >= 5x, the full suite >= 2x
+    assert fig4["speedup"] >= 5.0, fig4
+    assert suite["speedup"] >= 2.0, suite
+
+    BENCH_JSON.write_text(json.dumps(
+        {"fig4_sweep": fig4, "table1": table1, "suite": suite}, indent=2,
+    ) + "\n")
+
+    rows = [[
+        "fig4 512-slot sweep (x{})".format(fig4["rounds"]),
+        fig4["per_op_s"], fig4["batched_s"], fig4["speedup"],
+    ]]
+    for row in table1:
+        rows.append([
+            "table1 {} {}".format(row["cpu"], row["target"]),
+            row["per_op_s"], row["batched_s"], row["speedup"],
+        ])
+    rows.append([
+        "suite ({} scenarios, --jobs {})".format(
+            suite["scenarios"], suite["jobs"]),
+        suite["per_op_serial_s"], suite["batched_jobs_s"],
+        suite["speedup"],
+    ])
+    return format_table(
+        ["workload", "per-op s", "batched s", "speedup"], rows,
+    )
+
+
+def test_perf_probe_engine(benchmark, record_result):
+    record_result("perf_probe_engine", once(benchmark, run_probe_engine))

@@ -21,6 +21,7 @@ seeds before the big-n runs are trusted.
 import numpy as np
 
 from repro.attacks.calibrate import calibrate_store_threshold
+from repro.cpu.noise import sample_noise_array
 from repro.machine import Machine
 from repro.os.linux import layout
 
@@ -103,14 +104,10 @@ def extract_scan_model(cpu_key="i5-12400F", seed=12345):
 
 
 def _noise(rng, shape, model):
-    """The NoiseModel distribution, vectorized: max(0, N) + spikes."""
-    noise = rng.normal(0.0, model.sigma, size=shape)
-    spikes = rng.random(shape) < model.spike_prob
-    if spikes.any():
-        noise = noise + spikes * model.spike_cycles * (
-            0.5 + rng.random(shape)
-        )
-    return np.maximum(0, np.rint(noise))
+    """The canonical vectorized noise kernel applied to a ScanModel."""
+    return sample_noise_array(
+        rng, shape, model.sigma, model.spike_prob, model.spike_cycles
+    )
 
 
 def simulate_base_attack_trials(model, trials=10_000, seed=0,

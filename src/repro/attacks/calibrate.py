@@ -45,16 +45,25 @@ def robust_stats(values):
 
 
 def calibrate_store_threshold(machine, samples=600, slack_sigmas=3.0,
-                              slack_cycles=2.0):
+                              slack_cycles=2.0, batched=False):
     """Measure the masked store on the attacker's clean USER-M page.
 
     Returns a :class:`ThresholdCalibration` whose threshold sits a few
     noise sigmas above the measured mean -- i.e. between the kernel-mapped
-    and kernel-unmapped timing modes.
+    and kernel-unmapped timing modes.  ``batched=True`` takes all
+    ``samples`` through the sweep engine (two reference stores instead of
+    600) with identical simulated-time accounting.
     """
     core = machine.core
     page = machine.playground.user_rw
-    values = [core.timed_masked_store(page) for _ in range(samples)]
+    if batched:
+        values = list(
+            core.probe_sweep(
+                [page], rounds=samples, op="store", warm=False, reduce=None
+            )[0]
+        )
+    else:
+        values = [core.timed_masked_store(page) for _ in range(samples)]
     __, mean, std = robust_stats(values)
     threshold = mean + slack_sigmas * max(std, 1.0) + slack_cycles
     return ThresholdCalibration(mean, std, threshold, samples)

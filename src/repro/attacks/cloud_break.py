@@ -48,14 +48,15 @@ class CloudBreakResult:
         )
 
 
-def audit_cloud(provider, seed=0, machine=None, detect_kernel_modules=True):
+def audit_cloud(provider, seed=0, machine=None, detect_kernel_modules=True,
+                batched=False):
     """Run the paper's attack suite against one cloud instance."""
     if machine is None:
         machine = Machine.cloud(provider, seed=seed)
     instance = machine.instance
 
     if instance.os_family == "windows":
-        result = find_kernel_region(machine)
+        result = find_kernel_region(machine, batched=batched)
         return CloudBreakResult(
             provider=instance.provider,
             base=result.base,
@@ -68,14 +69,14 @@ def audit_cloud(provider, seed=0, machine=None, detect_kernel_modules=True):
         )
 
     if instance.kpti:
-        base_result = break_kaslr_kpti(machine)
+        base_result = break_kaslr_kpti(machine, batched=batched)
     else:
-        base_result = break_kaslr_intel(machine)
+        base_result = break_kaslr_intel(machine, batched=batched)
 
     modules_ms = None
     identified = None
     if detect_kernel_modules:
-        module_result = detect_modules(machine)
+        module_result = detect_modules(machine, batched=batched)
         modules_ms = module_result.probing_ms
         identified = len(module_result.identified)
 

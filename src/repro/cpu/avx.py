@@ -102,25 +102,25 @@ class AVXUnit:
     # -- public entry points ------------------------------------------------
 
     def masked_load(self, space, va, mask=ZERO_MASK, element_size=4,
-                    privileged=False):
+                    privileged=False, page_size_hint=None):
         """VPMASKMOV load: returns a :class:`MaskedOpResult`."""
         return self._masked_op(
             space, va, mask, element_size, privileged, is_store=False,
-            data=None,
+            data=None, page_size_hint=page_size_hint,
         )
 
     def masked_store(self, space, va, mask=ZERO_MASK, element_size=4,
-                     privileged=False, data=None):
+                     privileged=False, data=None, page_size_hint=None):
         """VPMASKMOV store of ``data`` (bytes per active element)."""
         return self._masked_op(
             space, va, mask, element_size, privileged, is_store=True,
-            data=data,
+            data=data, page_size_hint=page_size_hint,
         )
 
     # -- implementation -----------------------------------------------------
 
     def _masked_op(self, space, va, mask, element_size, privileged, is_store,
-                   data):
+                   data, page_size_hint=None):
         if element_size not in ELEMENT_SIZES:
             raise ValueError("bad element size {}".format(element_size))
         count = VECTOR_BYTES // element_size
@@ -154,7 +154,7 @@ class AVXUnit:
         walks = 0
         for page in pages:
             translation, level, walk_cycles = self._translate(
-                space, page, privileged
+                space, page, privileged, page_size_hint
             )
             translations[page] = translation
             cycles += walk_cycles
@@ -198,12 +198,12 @@ class AVXUnit:
             return (first,)
         return (first, last)
 
-    def _translate(self, space, page_va, privileged):
+    def _translate(self, space, page_va, privileged, page_size_hint=None):
         """TLB-first translation of one page.
 
         Returns ``(translation_or_None, tlb_level_or_None, cycles)``.
         """
-        entry, level = self.tlb.lookup(page_va)
+        entry, level = self.tlb.lookup(page_va, page_size_hint)
         if entry is not None:
             cost = (
                 self.cpu.tlb_hit_l1 if level == "L1" else self.cpu.tlb_hit_l2
@@ -214,8 +214,6 @@ class AVXUnit:
             return translation, level, cost
 
         walk = self.walker.walk(space.page_table, page_va)
-        self.perf.increment("DTLB_LOAD_MISSES.WALK_COMPLETED")
-        self.perf.increment("DTLB_LOAD_MISSES.WALK_DURATION", walk.cycles)
         translation = walk.translation
         if translation is not None and self._may_cache(translation, privileged):
             self.tlb.fill(translation)

@@ -60,6 +60,7 @@ class Core:
                 pde_entries=cpu.psc_pde,
             ),
             line_cache=PagingLineCache(cpu.paging_line_capacity),
+            perf=self.perf,
         )
         self.avx = AVXUnit(cpu, self.tlb, self.walker, self.perf)
         self._space = None
@@ -97,22 +98,39 @@ class Core:
     # -- raw execution (advances the clock) ----------------------------------
 
     def masked_load(self, va, mask=ZERO_MASK, element_size=4,
-                    privileged=False):
+                    privileged=False, page_size_hint=None):
         result = self.avx.masked_load(
-            self.address_space, va, mask, element_size, privileged
+            self.address_space, va, mask, element_size, privileged,
+            page_size_hint,
         )
         self.clock.advance(result.cycles)
         return result
 
     def masked_store(self, va, mask=ZERO_MASK, element_size=4,
-                     privileged=False, data=None):
+                     privileged=False, data=None, page_size_hint=None):
         result = self.avx.masked_store(
-            self.address_space, va, mask, element_size, privileged, data
+            self.address_space, va, mask, element_size, privileged, data,
+            page_size_hint,
         )
         self.clock.advance(result.cycles)
         return result
 
     # -- attacker-visible measurements ---------------------------------------
+
+    def probe_sweep(self, vas, rounds=None, op="load", warm=True,
+                    reduce="mean"):
+        """Batched sweep measurement (see :mod:`repro.cpu.engine`).
+
+        Equivalent in simulated time, counter effects, and classification
+        outcomes to looping the scalar double/single probes; orders of
+        magnitude fewer Python-level ops.  ``rounds=None`` uses the CPU
+        model's default round count.
+        """
+        from repro.cpu.engine import probe_sweep
+
+        if rounds is None:
+            rounds = self.cpu.rounds_default
+        return probe_sweep(self, vas, rounds, op=op, warm=warm, reduce=reduce)
 
     def timed_masked_load(self, va, mask=ZERO_MASK, element_size=4):
         """RDTSC / op / RDTSCP measurement of one masked load.
@@ -248,10 +266,6 @@ class Core:
                 entry, __ = self.tlb.lookup(va)
                 if entry is None:
                     walk = self.walker.walk(space.page_table, va)
-                    self.perf.increment("DTLB_LOAD_MISSES.WALK_COMPLETED")
-                    self.perf.increment(
-                        "DTLB_LOAD_MISSES.WALK_DURATION", walk.cycles
-                    )
                     if walk.translation is not None:
                         self.tlb.fill(walk.translation)
                     self.clock.advance(walk.cycles)

@@ -1,0 +1,120 @@
+"""Batched probe engine: the fast path for sweep-shaped measurement.
+
+Every paper experiment is a probe *sweep* -- the same masked op repeated
+``rounds`` times over each address of a long scan range.  The per-op
+simulator executes each of those ops as an isolated Python call; this
+module exploits the simulator's own steady-state property to skip almost
+all of them:
+
+* the **first** access to a VA changes microarchitectural state (TLB
+  fill, PSC fill, paging lines turning hot) and has a distinct latency;
+* the **second** access runs against the settled state, and every access
+  after it is *idempotent*: identical cycles, identical performance-
+  counter deltas, no further state change.
+
+So the engine executes at most two reference ops per VA through the
+bit-exact per-op path, then accounts for the skipped repetitions in
+closed form:
+
+* the simulated clock advances by exactly the cycles the per-op path
+  would have charged (first + steady x (ops - 1) plus the per-measurement
+  RDTSC/loop overhead),
+* performance counters (and the walker's ``completed_walks``) replay the
+  steady op's delta once per skipped op, so counter reads are *equal* to
+  the per-op path's,
+* measurement noise is drawn in one vectorized call from the canonical
+  kernel in :mod:`repro.cpu.noise` (same distribution as the scalar
+  path; the RNG stream is consumed in a different order, so individual
+  noise values -- but not their statistics or the classification
+  outcomes -- differ from the per-op path).
+
+The per-op simulator remains the reference; equivalence tests cross-
+validate recovered bases / module lists / regions between both paths.
+"""
+
+import numpy as np
+
+
+def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
+    """Measure every address in ``vas`` with ``rounds`` probes each.
+
+    ``warm=True`` models the paper's double probe: each timed measurement
+    is preceded by an untimed warming op, so all ``rounds`` observations
+    sit at the steady-state latency.  ``warm=False`` models bare repeated
+    single probes (the userspace scans): the first observation carries
+    the cold first-access latency.
+
+    ``reduce`` is ``"mean"`` (double-probe convention), ``"min"``
+    (module/userspace scans), or ``None`` for the raw
+    ``(len(vas), rounds)`` observation matrix (batched calibration).
+
+    Only zero-mask probes are supported -- active elements could fault
+    mid-sweep, which the closed-form replay cannot express.
+    """
+    if op not in ("load", "store"):
+        raise ValueError("op must be 'load' or 'store', not {!r}".format(op))
+    if reduce not in ("mean", "min", None):
+        raise ValueError("reduce must be 'mean', 'min' or None")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    vas = list(vas)
+    n = len(vas)
+    if n == 0:
+        return np.empty((0,) if reduce else (0, rounds), dtype=np.float64)
+
+    execute = core.masked_load if op == "load" else core.masked_store
+    cpu = core.cpu
+    ops_per_va = 2 * rounds if warm else rounds
+    page_table = core.address_space.page_table
+
+    first = np.empty(n, dtype=np.int64)
+    steady = np.empty(n, dtype=np.int64)
+    for i, va in enumerate(vas):
+        translation = page_table.lookup(va).translation
+        hint = translation.page_size if translation is not None else None
+
+        result = execute(va, page_size_hint=hint)
+        first[i] = result.cycles
+        if ops_per_va == 1:
+            steady[i] = result.cycles
+            continue
+
+        skipped = ops_per_va - 2
+        if not skipped:
+            steady[i] = execute(va, page_size_hint=hint).cycles
+            continue
+
+        snap = core.perf.snapshot()
+        walks_before = core.walker.completed_walks
+        result = execute(va, page_size_hint=hint)
+        steady[i] = result.cycles
+
+        if skipped:
+            delta = core.perf.delta_since(snap)
+            for event, count in delta.items():
+                if count:
+                    core.perf.increment(event, count * skipped)
+            walk_delta = core.walker.completed_walks - walks_before
+            if walk_delta:
+                core.walker.completed_walks += walk_delta * skipped
+            core.clock.advance(int(result.cycles) * skipped)
+
+    # each of the n x rounds timed measurements charges the RDTSC +
+    # loop overhead the per-op _observe() path would have charged
+    core.clock.advance(
+        n * rounds * (cpu.measurement_overhead + cpu.loop_overhead)
+    )
+
+    timed = np.repeat(steady[:, None], rounds, axis=1)
+    if not warm:
+        timed[:, 0] = first
+    noise = core.noise.sample_array(core.rng, (n, rounds)).astype(np.int64)
+    measured = timed + cpu.measurement_overhead + noise
+    if core.timer_resolution > 1:
+        measured -= measured % core.timer_resolution
+
+    if reduce == "mean":
+        return measured.mean(axis=1)
+    if reduce == "min":
+        return measured.min(axis=1)
+    return measured

@@ -10,6 +10,24 @@ additive spikes).  Everything is driven by an explicit
 import numpy as np
 
 
+def sample_noise_array(rng, shape, sigma, spike_prob, spike_cycles):
+    """The NoiseModel distribution, vectorized: max(0, N) + spikes.
+
+    This is the one canonical vectorized noise kernel; the batched probe
+    engine and the fastscan trial model both call it so their noise can
+    never drift from each other (or from the scalar :meth:`NoiseModel.sample`
+    distribution).  The RNG stream-consumption pattern is fixed -- one
+    ``normal(shape)``, one ``random(shape)`` spike draw, and one
+    ``random(shape)`` spike-magnitude draw issued only when any spike
+    fired -- so fixed-seed results are stable across callers.
+    """
+    noise = rng.normal(0.0, sigma, size=shape)
+    spikes = rng.random(shape) < spike_prob
+    if spikes.any():
+        noise = noise + spikes * spike_cycles * (0.5 + rng.random(shape))
+    return np.maximum(0, np.rint(noise))
+
+
 class NoiseModel:
     """Additive, non-negative timing noise."""
 
@@ -35,6 +53,17 @@ class NoiseModel:
                 0.5 + self.rng.random(int(spikes.sum()))
             )
         return np.maximum(0, np.rint(noise).astype(np.int64))
+
+    def sample_array(self, rng, shape):
+        """Vectorized draw via the canonical kernel.
+
+        ``rng`` is explicit (rather than ``self.rng``) because batched
+        sweeps own their generator's stream layout; pass ``self.rng`` to
+        share the model's stream.
+        """
+        return sample_noise_array(
+            rng, shape, self.sigma, self.spike_prob, self.spike_cycles
+        )
 
     def scaled(self, factor):
         """Return a copy with sigma scaled (e.g. noisy cloud neighbours)."""

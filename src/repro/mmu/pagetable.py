@@ -107,25 +107,54 @@ class Translation:
 
 
 class Lookup:
-    """Structural walk outcome: translation or termination level."""
+    """Structural walk outcome: translation or termination level.
 
-    __slots__ = ("translation", "terminal_level", "nodes")
+    ``indices`` carries the per-level VA indices so consumers that hold a
+    cached Lookup (the timed walker) need not recompute them.
+    """
 
-    def __init__(self, translation, terminal_level, nodes):
+    __slots__ = ("translation", "terminal_level", "nodes", "indices")
+
+    def __init__(self, translation, terminal_level, nodes, indices=None):
         self.translation = translation
         self.terminal_level = terminal_level
         self.nodes = nodes
+        self.indices = indices
 
     @property
     def present(self):
         return self.translation is not None
 
 
+#: Global structural-mutation counter.  It is bumped by *any* mutation of
+#: *any* page table; per-table lookup caches are tagged with the value
+#: they were filled under and dropped wholesale when it moves.  A global
+#: counter (rather than per-table) keeps aliased subtrees correct: KPTI
+#: tables share PML4 slots via :meth:`PageTable.share_top_level_from`, so
+#: a mutation through one table must invalidate lookups cached by the
+#: other.
+_mutation_generation = 0
+
+
+def _bump_generation():
+    global _mutation_generation
+    _mutation_generation += 1
+
+
 class PageTable:
-    """A full 4-level page-table tree rooted at a PML4."""
+    """A full 4-level page-table tree rooted at a PML4.
+
+    Repeated structural lookups of the same VA are memoized in a
+    generation-tagged cache: probe sweeps hit the same addresses over and
+    over, and the radix traversal dominates their cost.  Any mutation
+    (``map``/``unmap``/``protect``/flag updates/top-level sharing) bumps
+    the global generation, which drops every table's cached lookups.
+    """
 
     def __init__(self):
         self.root = Node(level=0)
+        self._lookup_cache = {}
+        self._cache_generation = _mutation_generation
 
     # -- construction -----------------------------------------------------
 
@@ -152,6 +181,7 @@ class PageTable:
         if page_size != PAGE_SIZE:
             flags |= PageFlags.HUGE
         node.entries[index] = Entry(flags=flags, pfn=pfn)
+        _bump_generation()
 
     def unmap(self, va):
         """Remove the terminal mapping covering ``va``.
@@ -164,6 +194,7 @@ class PageTable:
         if entry is None:
             raise MappingError("va {:#x} is not mapped".format(va))
         del node.entries[index]
+        _bump_generation()
         return _SIZE_OF_LEVEL[level]
 
     def protect(self, va, flags):
@@ -175,15 +206,19 @@ class PageTable:
         if not flags & PageFlags.PRESENT:
             # PROT_NONE: drop the leaf, like Linux clearing the present bit.
             del node.entries[index]
+            _bump_generation()
             return
         node.entries[index] = Entry(flags=flags | keep, pfn=entry.pfn)
+        _bump_generation()
 
     def set_flag(self, va, flag):
         """OR ``flag`` into the terminal entry covering ``va`` (A/D bits)."""
         __, __, entry, __ = self._find_terminal(va)
         if entry is None:
             raise MappingError("va {:#x} is not mapped".format(va))
-        entry.flags |= flag
+        if entry.flags & flag != flag:
+            entry.flags |= flag
+            _bump_generation()
 
     # -- lookup ------------------------------------------------------------
 
@@ -204,8 +239,22 @@ class PageTable:
         """Walk structurally (no timing) and return a :class:`Lookup`.
 
         ``nodes`` lists the (level, node_id) pairs of every paging
-        structure the hardware would read, in top-down order.
+        structure the hardware would read, in top-down order.  Results are
+        memoized per VA until the next structural mutation.
         """
+        if self._cache_generation != _mutation_generation:
+            self._lookup_cache.clear()
+            self._cache_generation = _mutation_generation
+        else:
+            cached = self._lookup_cache.get(va)
+            if cached is not None:
+                return cached
+        result = self._lookup_uncached(va)
+        self._lookup_cache[va] = result
+        return result
+
+    def _lookup_uncached(self, va):
+        """The raw radix traversal behind :meth:`lookup` (never cached)."""
         va = check_canonical(va)
         indices = split_indices(va)
         node = self.root
@@ -214,7 +263,7 @@ class PageTable:
             touched.append((level, node.node_id))
             entry = node.get(indices[level])
             if entry is None or not entry.flags & PageFlags.PRESENT:
-                return Lookup(None, level, touched)
+                return Lookup(None, level, touched, indices)
             if entry.is_terminal:
                 translation = Translation(
                     va,
@@ -223,7 +272,7 @@ class PageTable:
                     _SIZE_OF_LEVEL[level],
                     level,
                 )
-                return Lookup(translation, level, touched)
+                return Lookup(translation, level, touched, indices)
             node = entry.child
         raise MappingError("malformed page table at {:#x}".format(va))
 
@@ -245,6 +294,7 @@ class PageTable:
                 "source PML4 slot {} is empty".format(pml4_index)
             )
         self.root.entries[pml4_index] = entry
+        _bump_generation()
 
     def iter_terminal(self):
         """Yield (va_base, entry, page_size) for every present leaf."""

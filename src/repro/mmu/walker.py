@@ -72,21 +72,41 @@ class WalkResult:
 
 
 class PageTableWalker:
-    """Walks a page table, charging cycles and updating PSC/line caches."""
+    """Walks a page table, charging cycles and updating PSC/line caches.
 
-    def __init__(self, timing=None, psc=None, line_cache=None, use_psc=True):
+    ``perf`` (optional) is the owning core's performance-counter block;
+    when present the walker is the *single* place that counts completed
+    walks and walk cycles, so ``DTLB_LOAD_MISSES.WALK_COMPLETED`` can
+    never drift from :attr:`completed_walks` no matter which execution
+    path (AVX unit, kernel touches, prefetch/TSX baselines) triggered the
+    walk.
+    """
+
+    def __init__(self, timing=None, psc=None, line_cache=None, use_psc=True,
+                 perf=None):
         self.timing = timing if timing is not None else WalkTiming()
         self.psc = psc if psc is not None else PagingStructureCache()
         self.line_cache = (
             line_cache if line_cache is not None else PagingLineCache()
         )
         self.use_psc = use_psc
+        self.perf = perf
         self.completed_walks = 0
 
-    def walk(self, page_table, va, fill_psc=True):
-        """Perform one timed walk of ``va`` through ``page_table``."""
-        indices = split_indices(va)
-        lookup = page_table.lookup(va)
+    def walk(self, page_table, va, fill_psc=True, lookup=None):
+        """Perform one timed walk of ``va`` through ``page_table``.
+
+        ``lookup`` may carry a pre-resolved structural
+        :class:`~repro.mmu.pagetable.Lookup` of the same VA (e.g. from the
+        page table's memoizing cache) so the walk skips the radix
+        traversal; timing and cache effects are charged identically.
+        """
+        if lookup is None:
+            lookup = page_table.lookup(va)
+        indices = (
+            lookup.indices if lookup.indices is not None
+            else split_indices(va)
+        )
         terminal = lookup.terminal_level
 
         start_level = 0
@@ -115,6 +135,9 @@ class PageTableWalker:
                 self.psc.fill(indices, level, child_id)
 
         self.completed_walks += 1
+        if self.perf is not None:
+            self.perf.increment("DTLB_LOAD_MISSES.WALK_COMPLETED")
+            self.perf.increment("DTLB_LOAD_MISSES.WALK_DURATION", cycles)
         return WalkResult(
             translation=lookup.translation,
             terminal_level=terminal,

@@ -20,6 +20,7 @@ Schema::
 """
 
 import json
+import os
 import pathlib
 
 from repro.errors import ConfigError
@@ -40,7 +41,8 @@ def _attack(name):
 def _run_kaslr(machine, params):
     from repro.attacks.kaslr_break import break_kaslr
 
-    result = break_kaslr(machine, rounds=params.get("rounds"))
+    result = break_kaslr(machine, rounds=params.get("rounds"),
+                         batched=params.get("batched", True))
     return {
         "correct": result.base == machine.kernel.base,
         "base": result.base,
@@ -54,7 +56,8 @@ def _run_kaslr(machine, params):
 def _run_modules(machine, params):
     from repro.attacks.module_detect import detect_modules, region_accuracy
 
-    result = detect_modules(machine, rounds=params.get("rounds"))
+    result = detect_modules(machine, rounds=params.get("rounds"),
+                            batched=params.get("batched", True))
     return {
         "correct": region_accuracy(result, machine.kernel) >= params.get(
             "min_accuracy", 0.98
@@ -71,7 +74,8 @@ def _run_kpti(machine, params):
     from repro.attacks.kpti_break import break_kaslr_kpti
 
     result = break_kaslr_kpti(
-        machine, trampoline_offset=params.get("trampoline_offset")
+        machine, trampoline_offset=params.get("trampoline_offset"),
+        batched=params.get("batched", True),
     )
     return {
         "correct": result.base == machine.kernel.base,
@@ -85,7 +89,8 @@ def _run_kpti(machine, params):
 def _run_windows_region(machine, params):
     from repro.attacks.windows_break import find_kernel_region
 
-    result = find_kernel_region(machine)
+    result = find_kernel_region(machine,
+                                batched=params.get("batched", True))
     return {
         "correct": result.base == machine.kernel.base,
         "base": result.base,
@@ -98,7 +103,8 @@ def _run_windows_region(machine, params):
 def _run_windows_kvas(machine, params):
     from repro.attacks.windows_break import find_kvas_region
 
-    result = find_kvas_region(machine)
+    result = find_kvas_region(machine,
+                              batched=params.get("batched", True))
     return {
         "correct": result.base == machine.kernel.base,
         "base": result.base,
@@ -110,7 +116,8 @@ def _run_windows_kvas(machine, params):
 def _run_user_scan(machine, params):
     from repro.attacks.userspace import find_user_code_base
 
-    result = find_user_code_base(machine)
+    result = find_user_code_base(machine,
+                                 batched=params.get("batched", True))
     return {
         "correct": result.base == machine.process.text_base,
         "base": result.base,
@@ -139,7 +146,8 @@ def _run_fingerprint(machine, params):
     from repro.workloads.apps import APP_CATALOG, ApplicationWorkload
 
     app = params.get("app", "video-call")
-    spy = ApplicationFingerprinter(machine)
+    spy = ApplicationFingerprinter(machine,
+                                   batched=params.get("batched", True))
     workload = ApplicationWorkload(app, seed=params.get("victim_seed", 1))
     guess, __, __ = spy.identify(
         workload, list(APP_CATALOG.values()),
@@ -231,10 +239,24 @@ def run_scenario(scenario):
     )
 
 
-def run_suite(directory):
-    """Run every ``*.json`` scenario in a directory, sorted by name."""
+def run_suite(directory, jobs=None):
+    """Run every ``*.json`` scenario in a directory, sorted by name.
+
+    ``jobs`` > 1 fans the scenarios out over a process pool (each
+    scenario boots its own machine, so they are fully independent);
+    results come back in the same sorted-by-name order as the serial
+    path.  Workers are capped at the machine's core count --
+    oversubscribing a smaller box is pure scheduling overhead.
+    """
     directory = pathlib.Path(directory)
-    results = []
-    for path in sorted(directory.glob("*.json")):
-        results.append(run_scenario(path))
-    return results
+    paths = sorted(directory.glob("*.json"))
+    if jobs is not None:
+        jobs = min(jobs, os.cpu_count() or 1)
+    if jobs is None or jobs <= 1 or len(paths) <= 1:
+        return [run_scenario(path) for path in paths]
+
+    import concurrent.futures
+
+    workers = min(jobs, len(paths))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_scenario, paths))

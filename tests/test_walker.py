@@ -92,6 +92,52 @@ class TestWalkCost:
         assert walker.completed_walks == 2
 
 
+class TestPerfCounterConsistency:
+    """Walk counting lives in the walker, so the PMU event can't drift."""
+
+    def test_walker_counts_into_perf_block(self):
+        from repro.cpu.perfcounters import PerfCounters
+
+        table = PageTable()
+        table.map(0x1000, 0x1, USER_RW)
+        perf = PerfCounters()
+        walker = _walker(perf=perf)
+        first = walker.walk(table, 0x1000)
+        second = walker.walk(table, 0x2000)
+        assert perf.read("DTLB_LOAD_MISSES.WALK_COMPLETED") == 2
+        assert perf.read("DTLB_LOAD_MISSES.WALK_DURATION") == (
+            first.cycles + second.cycles
+        )
+        assert walker.completed_walks == 2
+
+    def test_pre_resolved_lookup_walks_identically(self):
+        table = PageTable()
+        table.map(0x1000, 0x1, USER_RW)
+        plain = _walker().walk(table, 0x1000)
+        resolved = table.lookup(0x1000)
+        hinted = _walker().walk(table, 0x1000, lookup=resolved)
+        assert hinted.cycles == plain.cycles
+        assert hinted.accesses == plain.accesses
+        assert hinted.terminal_level == plain.terminal_level
+
+    def test_event_equals_attribute_across_all_core_paths(self):
+        """AVX ops, kernel touches, and prefetch probes all walk through
+        the same counter: the PMU event always equals completed_walks."""
+        from repro.machine import Machine
+
+        machine = Machine.linux(seed=5)
+        core = machine.core
+        base = machine.kernel.base
+        core.masked_load(base)
+        core.masked_load(base - (1 << 21))
+        core.kernel_touch([base, base + (1 << 21)])
+        core.timed_prefetch(machine.playground.user_rw)
+        assert (
+            core.perf.read("DTLB_LOAD_MISSES.WALK_COMPLETED")
+            == core.walker.completed_walks
+        )
+
+
 class TestInvalidation:
     def test_invalidate_address_clears_psc(self):
         table = PageTable()
