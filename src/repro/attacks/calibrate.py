@@ -37,7 +37,10 @@ def robust_stats(values):
     """Median and a spike-resistant std estimate (trimmed)."""
     ordered = sorted(values)
     n = len(ordered)
-    median = ordered[n // 2]
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2
     trimmed = ordered[: max(1, int(n * 0.95))]
     mean = sum(trimmed) / len(trimmed)
     var = sum((v - mean) ** 2 for v in trimmed) / max(1, len(trimmed) - 1)
@@ -63,6 +66,9 @@ def calibrate_store_threshold(machine, samples=600, slack_sigmas=3.0,
             )[0]
         )
     else:
+        # one poll for the single calibration VA -- the same boundary the
+        # batched engine polls at, keeping chaos schedules mode-agnostic
+        core.chaos_poll()
         values = [core.timed_masked_store(page) for _ in range(samples)]
     __, mean, std = robust_stats(values)
     threshold = mean + slack_sigmas * max(std, 1.0) + slack_cycles
@@ -77,6 +83,7 @@ def calibrate_user_load(machine, samples=200):
     """
     core = machine.core
     page = machine.playground.user_rw
+    core.chaos_poll()
     values = [core.timed_masked_load(page) for _ in range(samples)]
     __, mean, std = robust_stats(values)
     return ThresholdCalibration(mean, std, mean + 3 * std, samples)

@@ -18,6 +18,7 @@ Pipeline:
 import math
 
 from repro.attacks.module_detect import detect_modules
+from repro.errors import AttackError
 from repro.workloads.apps import SENTINEL_MODULES, ApplicationWorkload
 
 
@@ -60,7 +61,7 @@ class ApplicationFingerprinter:
             for name in sentinels:
                 address = detection.address_of(name)
                 if address is None:
-                    raise ValueError(
+                    raise AttackError(
                         "sentinel {!r} not identifiable by size".format(name)
                     )
                 module_addresses[name] = address
@@ -75,6 +76,7 @@ class ApplicationFingerprinter:
             interval_s * self.machine.cpu.freq_ghz * 1e9
         )
         for _ in range(intervals):
+            self.core.chaos_poll()
             self.core.evict_translation_caches()
             workload.deliver(self.machine, 0.0, interval_s)
             self.core.clock.advance(interval_cycles)

@@ -26,6 +26,7 @@ def double_probe_load(core, va, rounds=1, take_min=False):
     verdict); scans whose verdict is per-page fragile (module-region
     extraction) use it, while the base scan averages.
     """
+    core.chaos_poll()
     samples = []
     for _ in range(rounds):
         core.masked_load(va, ZERO_MASK)
@@ -37,6 +38,7 @@ def double_probe_load(core, va, rounds=1, take_min=False):
 
 def double_probe_store(core, va, rounds=1, take_min=False):
     """P2 probe with masked stores (used for the user-space scans)."""
+    core.chaos_poll()
     samples = []
     for _ in range(rounds):
         core.masked_store(va, ZERO_MASK)
@@ -48,6 +50,7 @@ def double_probe_store(core, va, rounds=1, take_min=False):
 
 def single_probe_load(core, va):
     """One timed access with no warm-up (the TLB-attack measurement)."""
+    core.chaos_poll()
     return core.timed_masked_load(va, ZERO_MASK)
 
 

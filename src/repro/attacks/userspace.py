@@ -70,6 +70,7 @@ def _calibrate_unmapped_boundary(machine, samples=200, use_store=False,
         probe = (
             core.timed_masked_store if use_store else core.timed_masked_load
         )
+        core.chaos_poll()
         values = sorted(
             probe(machine.playground.unmapped) for _ in range(samples)
         )
@@ -137,6 +138,7 @@ def _region_scan(machine, classify, probe, rounds, window_pages,
     else:
         positives = []
         for va in addresses:
+            core.chaos_poll()
             best = min(probe(va) for _ in range(rounds))
             if classify(best):
                 positives.append(va)

@@ -1,0 +1,36 @@
+"""Disturbance-injection runtime: a hostile, reproducible environment.
+
+Real machines fight back: the scheduler migrates the attacker between
+cores, DVFS steps the frequency mid-sweep, SMIs and interrupt storms
+spike individual measurements, co-resident neighbours thrash the TLB,
+and hardened kernels coarsen timers or re-randomize their layout while
+the scan is still running.  This package injects exactly those faults
+*during* a simulated attack -- from a seeded, deterministic event
+schedule -- so adaptive attack logic can be tested against them instead
+of against a lab-quiet machine.
+
+Entry points:
+
+* :class:`~repro.chaos.profiles.ChaosProfile` / ``get_chaos_profile`` --
+  declarative description of which disturbances fire and how often;
+* :class:`~repro.chaos.runtime.ChaosRuntime` -- the event scheduler a
+  :class:`~repro.machine.Machine` attaches to its core;
+* :class:`~repro.chaos.events.DisturbanceEvent` -- one log record.
+"""
+
+from repro.chaos.events import EVENT_KINDS, DisturbanceEvent
+from repro.chaos.profiles import (
+    CHAOS_PROFILES,
+    ChaosProfile,
+    get_chaos_profile,
+)
+from repro.chaos.runtime import ChaosRuntime
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "ChaosProfile",
+    "ChaosRuntime",
+    "DisturbanceEvent",
+    "EVENT_KINDS",
+    "get_chaos_profile",
+]

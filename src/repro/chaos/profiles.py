@@ -1,0 +1,132 @@
+"""Named disturbance profiles: how hostile is the machine?
+
+A :class:`ChaosProfile` declares, per event kind, whether it fires and
+its mean inter-arrival time in *simulated cycles* (arrivals are drawn
+from an exponential distribution -- a Poisson process -- by the
+runtime), plus the kind-specific intensity parameters.  Periods are
+chosen against the attacks' own time scales: the Intel KASLR break
+spends ~1-2 Mcycles probing, so a 1.5 Mcycle migration period means
+roughly one migration per scan.
+"""
+
+from repro.chaos import events
+from repro.errors import ConfigError
+
+
+class ChaosProfile:
+    """Declarative disturbance configuration (immutable by convention)."""
+
+    def __init__(
+        self,
+        name,
+        description="",
+        # Poisson mean inter-arrival per kind, in simulated cycles;
+        # None disables the kind entirely.
+        migration_period=None,
+        dvfs_period=None,
+        irq_storm_period=None,
+        tlb_shootdown_period=None,
+        neighbor_burst_period=None,
+        timer_flip_period=None,
+        rerandomize_period=None,
+        # intensities
+        migration_cost=12_000,
+        migration_sigma_factors=(1.0, 1.15, 1.3),
+        dvfs_scales=(0.8, 1.0, 1.25),
+        dvfs_stall=9_000,
+        irq_storm_cost=30_000,
+        irq_spike_cycles=2_500,
+        neighbor_pressure=24,
+        neighbor_footprint_pages=1024,
+        coarse_timer_resolution=32,
+    ):
+        self.name = name
+        self.description = description
+        self.periods = {
+            events.MIGRATION: migration_period,
+            events.DVFS: dvfs_period,
+            events.IRQ_STORM: irq_storm_period,
+            events.TLB_SHOOTDOWN: tlb_shootdown_period,
+            events.NEIGHBOR_BURST: neighbor_burst_period,
+            events.TIMER_FLIP: timer_flip_period,
+            events.RERANDOMIZE: rerandomize_period,
+        }
+        self.migration_cost = migration_cost
+        self.migration_sigma_factors = tuple(migration_sigma_factors)
+        self.dvfs_scales = tuple(dvfs_scales)
+        self.dvfs_stall = dvfs_stall
+        self.irq_storm_cost = irq_storm_cost
+        self.irq_spike_cycles = irq_spike_cycles
+        self.neighbor_pressure = neighbor_pressure
+        self.neighbor_footprint_pages = neighbor_footprint_pages
+        self.coarse_timer_resolution = coarse_timer_resolution
+
+    @property
+    def active_kinds(self):
+        return tuple(
+            kind for kind in events.EVENT_KINDS
+            if self.periods.get(kind) is not None
+        )
+
+    def __repr__(self):
+        return "ChaosProfile({!r}, kinds={})".format(
+            self.name, list(self.active_kinds)
+        )
+
+
+#: Registry of named profiles.
+CHAOS_PROFILES = {
+    # no disturbances at all -- the lab-quiet baseline (attaching it
+    # still exercises the full chaos code path, so the determinism tests
+    # can show it is a true no-op)
+    "quiet": ChaosProfile(
+        "quiet",
+        description="chaos runtime attached, no events enabled",
+    ),
+    # the acceptance-criterion profile: scheduler migration + DVFS +
+    # noisy neighbour, each firing roughly once per KASLR-scale scan
+    "default": ChaosProfile(
+        "default",
+        description="migration + DVFS steps + neighbour bursts",
+        migration_period=1_500_000,
+        dvfs_period=900_000,
+        neighbor_burst_period=350_000,
+    ),
+    # everything except re-randomization, at aggressive rates
+    "hostile": ChaosProfile(
+        "hostile",
+        description="all transient disturbances, aggressive rates",
+        migration_period=600_000,
+        dvfs_period=400_000,
+        irq_storm_period=500_000,
+        tlb_shootdown_period=450_000,
+        neighbor_burst_period=150_000,
+        timer_flip_period=2_000_000,
+        neighbor_pressure=48,
+    ),
+    # the worst case: the kernel image moves mid-scan (plus background
+    # transients), forcing the supervisor's DisturbanceAbort + retry path
+    "rerandomizing": ChaosProfile(
+        "rerandomizing",
+        description="mid-scan KASLR re-randomization + light transients",
+        migration_period=2_500_000,
+        neighbor_burst_period=600_000,
+        rerandomize_period=2_000_000,
+    ),
+}
+
+
+def get_chaos_profile(profile):
+    """Resolve a profile name (or pass a ChaosProfile through)."""
+    if profile is None:
+        return None
+    if isinstance(profile, ChaosProfile):
+        return profile
+    try:
+        return CHAOS_PROFILES[profile]
+    except KeyError:
+        raise ConfigError(
+            "unknown chaos profile {!r}; known: {}".format(
+                profile, ", ".join(sorted(CHAOS_PROFILES))
+            )
+        )

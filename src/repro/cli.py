@@ -14,12 +14,16 @@ system without writing code:
     python -m repro cloud ec2
     python -m repro sgx
     python -m repro poc
+    python -m repro chaos kaslr --profile hostile
+    python -m repro kaslr --chaos-profile default
 """
 
 import argparse
+import json
 import sys
 
 from repro.cpu.models import CPU_CATALOG, get_cpu_model
+from repro.errors import ReproError
 from repro.machine import Machine
 
 
@@ -34,6 +38,41 @@ def _add_per_op(parser):
     parser.add_argument("--per-op", action="store_true",
                         help="use the per-op reference simulator instead "
                              "of the batched probe engine")
+
+
+def _add_chaos(parser):
+    parser.add_argument("--chaos-profile", default=None,
+                        help="run under a disturbance profile via the "
+                             "attack supervisor (see `chaos --list`)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="supervisor retry budget (with --chaos-profile)")
+
+
+def _print_verdict(verdict, truth=None):
+    """Shared report for supervised runs."""
+    value = verdict.value
+    if isinstance(value, int):
+        value = hex(value)
+    print("status     : {}".format(verdict.status))
+    print("value      : {}".format(value))
+    if truth is not None:
+        print("truth      : {:#x}".format(truth))
+        print("verdict    : {}".format(
+            "CORRECT" if verdict.value == truth else "WRONG"))
+    print("confidence : {:.3f}".format(verdict.confidence))
+    print("retries    : {}".format(verdict.retries))
+    print("probes     : {}".format(verdict.probes_spent))
+    print("elapsed    : {:.3f} ms".format(verdict.elapsed_ms))
+    kinds = {}
+    for event in verdict.disturbances:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    print("disturbances: {}".format(
+        ", ".join("{} x{}".format(k, n) for k, n in sorted(kinds.items()))
+        or "none"))
+    for attempt in verdict.attempts:
+        print("  attempt {}: {}{}".format(
+            attempt.index, attempt.outcome,
+            " ({})".format(attempt.detail) if attempt.detail else ""))
 
 
 def cmd_cpus(args):
@@ -56,6 +95,16 @@ def cmd_cpus(args):
 def cmd_kaslr(args):
     from repro.attacks.kaslr_break import break_kaslr
 
+    if args.chaos_profile:
+        from repro.attacks.supervisor import supervise
+
+        machine = Machine.linux(cpu=args.cpu, seed=args.seed,
+                                chaos=args.chaos_profile)
+        verdict = supervise(machine, "kaslr", max_retries=args.max_retries,
+                            batched=not args.per_op, rounds=args.rounds)
+        _print_verdict(verdict, truth=machine.kernel.base)
+        return 0 if verdict.value == machine.kernel.base else 1
+
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
     result = break_kaslr(machine, rounds=args.rounds,
                          batched=not args.per_op)
@@ -72,6 +121,24 @@ def cmd_kaslr(args):
 def cmd_modules(args):
     from repro.attacks.module_detect import detect_modules, region_accuracy
 
+    if args.chaos_profile:
+        from repro.attacks.supervisor import supervise
+
+        machine = Machine.linux(cpu=args.cpu, seed=args.seed,
+                                chaos=args.chaos_profile)
+        verdict = supervise(machine, "modules",
+                            max_retries=args.max_retries,
+                            batched=not args.per_op)
+        _print_verdict(verdict)
+        truth = machine.kernel.module_map
+        wrong = [
+            name for name, addr in (verdict.value or {}).items()
+            if truth.get(name, (None,))[0] != addr
+        ]
+        print("identified : {} ({} wrong)".format(
+            len(verdict.value or {}), len(wrong)))
+        return 0 if verdict.found and not wrong else 1
+
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
     result = detect_modules(machine, batched=not args.per_op)
     print("regions    : {}".format(len(result.regions)))
@@ -86,6 +153,16 @@ def cmd_modules(args):
 
 def cmd_kpti(args):
     from repro.attacks.kpti_break import break_kaslr_kpti
+
+    if args.chaos_profile:
+        from repro.attacks.supervisor import supervise
+
+        machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True,
+                                chaos=args.chaos_profile)
+        verdict = supervise(machine, "kpti", max_retries=args.max_retries,
+                            batched=not args.per_op)
+        _print_verdict(verdict, truth=machine.kernel.base)
+        return 0 if verdict.value == machine.kernel.base else 1
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True)
     result = break_kaslr_kpti(machine, batched=not args.per_op)
@@ -175,6 +252,49 @@ def cmd_sgx(args):
     return 0 if ok else 1
 
 
+def cmd_chaos(args):
+    from repro.attacks.supervisor import supervise
+    from repro.chaos import CHAOS_PROFILES
+
+    if args.list:
+        for name, profile in sorted(CHAOS_PROFILES.items()):
+            print("{:<14} {:<44} [{}]".format(
+                name, profile.description,
+                ", ".join(profile.active_kinds) or "no events"))
+        return 0
+
+    cpu = args.cpu
+    if cpu is None:
+        cpu = "i7-1065G7" if args.attack in ("sgx", "fingerprint") \
+            else "i5-12400F"
+    if args.attack == "windows":
+        machine = Machine.windows(cpu=cpu, seed=args.seed,
+                                  chaos=args.profile)
+    elif args.attack == "cloud":
+        machine = Machine.cloud(args.provider, seed=args.seed,
+                                chaos=args.profile)
+    else:
+        machine = Machine.linux(cpu=cpu, seed=args.seed,
+                                kpti=(args.attack == "kpti"),
+                                chaos=args.profile)
+
+    verdict = supervise(machine, args.attack, max_retries=args.max_retries,
+                        probe_budget=args.probe_budget,
+                        batched=not args.per_op)
+    if args.json:
+        print(json.dumps(verdict.as_dict()))
+    else:
+        print("attack     : {} under profile {!r}".format(
+            args.attack, args.profile))
+        truth = None
+        if args.attack in ("kaslr", "kpti", "windows", "cloud"):
+            truth = machine.kernel.base
+        elif args.attack in ("userspace", "sgx"):
+            truth = machine.process.text_base
+        _print_verdict(verdict, truth=truth)
+    return 0 if verdict.found else 1
+
+
 def cmd_scenario(args):
     from repro.scenarios import run_scenario
 
@@ -244,17 +364,20 @@ def build_parser():
     p = subparsers.add_parser("kaslr", help="break the kernel base")
     _add_common(p)
     _add_per_op(p)
+    _add_chaos(p)
     p.add_argument("--rounds", type=int, default=None)
     p.set_defaults(func=cmd_kaslr)
 
     p = subparsers.add_parser("modules", help="detect kernel modules")
     _add_common(p)
     _add_per_op(p)
+    _add_chaos(p)
     p.set_defaults(func=cmd_modules)
 
     p = subparsers.add_parser("kpti", help="break KASLR despite KPTI")
     _add_common(p)
     _add_per_op(p)
+    _add_chaos(p)
     p.set_defaults(func=cmd_kpti)
 
     p = subparsers.add_parser("spy", help="fingerprint an application")
@@ -286,6 +409,30 @@ def build_parser():
     _add_common(p)
     p.set_defaults(func=cmd_poc)
 
+    p = subparsers.add_parser(
+        "chaos", help="run a supervised attack under disturbances")
+    p.add_argument("attack", nargs="?", default="kaslr",
+                   choices=("kaslr", "kpti", "modules", "windows",
+                            "userspace", "cloud", "sgx", "fingerprint"),
+                   help="which supervised attack to run")
+    p.add_argument("--profile", default="default",
+                   help="disturbance profile (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the available profiles and exit")
+    p.add_argument("--cpu", default=None,
+                   help="CPU catalog key (defaults per attack)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--provider", default="ec2",
+                   choices=("ec2", "gce", "azure"),
+                   help="cloud provider (attack=cloud only)")
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument("--probe-budget", type=int, default=None,
+                   help="abort once this many probes are spent")
+    p.add_argument("--json", action="store_true",
+                   help="print the verdict as one JSON line")
+    _add_per_op(p)
+    p.set_defaults(func=cmd_chaos)
+
     p = subparsers.add_parser("scenario", help="run one JSON scenario")
     p.add_argument("path")
     p.set_defaults(func=cmd_scenario)
@@ -304,8 +451,12 @@ def main(argv=None):
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except Exception as error:  # surface config errors cleanly
-        print("error: {}".format(error), file=sys.stderr)
+    except ReproError as error:
+        # structured failure record: one JSON line on stderr, no traceback
+        print(json.dumps({
+            "error": type(error).__name__,
+            "message": str(error),
+        }), file=sys.stderr)
         return 2
 
 

@@ -76,6 +76,26 @@ class Core:
         #: attack requires (its SGX variant needs SGX2 exactly for this);
         #: larger values model coarsened/fuzzed timer defenses.
         self.timer_resolution = 1
+        #: disturbance-injection runtime (:mod:`repro.chaos`), or None on
+        #: a lab-quiet machine; polled at probe boundaries via chaos_poll
+        self.chaos = None
+        #: DVFS multiplier on true cycle counts: 1.0 at nominal frequency,
+        #: >1 when a chaos frequency transition clocked the core down
+        self.dvfs_scale = 1.0
+        #: one-shot extra cycles an interrupt/SMI storm adds to the next
+        #: timed measurement (consumed by _observe / the batched engine)
+        self.pending_spike_cycles = 0
+
+    def chaos_poll(self):
+        """Fire any due disturbances (no-op on lab-quiet machines).
+
+        Both probe paths call this at the same probe boundaries (once per
+        probed VA, plus calibration/scan entry points), which is what
+        keeps the disturbance schedule identical across per-op and
+        batched modes for the same seed.
+        """
+        if self.chaos is not None:
+            self.chaos.poll()
 
     # -- address-space management -------------------------------------------
 
@@ -103,6 +123,8 @@ class Core:
             self.address_space, va, mask, element_size, privileged,
             page_size_hint,
         )
+        if self.dvfs_scale != 1.0:
+            result.cycles = int(round(result.cycles * self.dvfs_scale))
         self.clock.advance(result.cycles)
         return result
 
@@ -112,6 +134,8 @@ class Core:
             self.address_space, va, mask, element_size, privileged, data,
             page_size_hint,
         )
+        if self.dvfs_scale != 1.0:
+            result.cycles = int(round(result.cycles * self.dvfs_scale))
         self.clock.advance(result.cycles)
         return result
 
@@ -149,6 +173,10 @@ class Core:
         measured = (
             true_cycles + self.cpu.measurement_overhead + self.noise.sample()
         )
+        if self.pending_spike_cycles:
+            # an injected interrupt/SMI storm lands on this measurement
+            measured += self.pending_spike_cycles
+            self.pending_spike_cycles = 0
         if self.timer_resolution > 1:
             measured -= measured % self.timer_resolution
         self.clock.advance(self.cpu.measurement_overhead

@@ -65,11 +65,33 @@ def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
     execute = core.masked_load if op == "load" else core.masked_store
     cpu = core.cpu
     ops_per_va = 2 * rounds if warm else rounds
-    page_table = core.address_space.page_table
+    # per-measurement RDTSC + loop overhead, charged per VA inside the
+    # loop (not at sweep end) so the mid-sweep clock agrees with the
+    # per-op path at every chaos poll boundary
+    per_va_overhead = rounds * (cpu.measurement_overhead + cpu.loop_overhead)
+
+    chaos = core.chaos if (core.chaos is not None and core.chaos.active) \
+        else None
+    if chaos is not None:
+        # disturbances can change sigma / timer resolution / pending
+        # spikes mid-sweep, so noise and coarsening become per-row state
+        # captured at each VA's poll boundary
+        noise = np.empty((n, rounds), dtype=np.int64)
+        spike_col = np.zeros(n, dtype=np.int64)
+        resolution = np.ones(n, dtype=np.int64)
 
     first = np.empty(n, dtype=np.int64)
     steady = np.empty(n, dtype=np.int64)
     for i, va in enumerate(vas):
+        if chaos is not None:
+            core.chaos_poll()
+            spike_col[i] = core.pending_spike_cycles
+            core.pending_spike_cycles = 0
+            resolution[i] = core.timer_resolution
+            noise[i] = core.noise.sample_array(
+                core.rng, (rounds,)
+            ).astype(np.int64)
+        page_table = core.address_space.page_table
         translation = page_table.lookup(va).translation
         hint = translation.page_size if translation is not None else None
 
@@ -77,40 +99,39 @@ def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
         first[i] = result.cycles
         if ops_per_va == 1:
             steady[i] = result.cycles
-            continue
+        else:
+            skipped = ops_per_va - 2
+            if not skipped:
+                steady[i] = execute(va, page_size_hint=hint).cycles
+            else:
+                snap = core.perf.snapshot()
+                walks_before = core.walker.completed_walks
+                result = execute(va, page_size_hint=hint)
+                steady[i] = result.cycles
 
-        skipped = ops_per_va - 2
-        if not skipped:
-            steady[i] = execute(va, page_size_hint=hint).cycles
-            continue
+                delta = core.perf.delta_since(snap)
+                for event, count in delta.items():
+                    if count:
+                        core.perf.increment(event, count * skipped)
+                walk_delta = core.walker.completed_walks - walks_before
+                if walk_delta:
+                    core.walker.completed_walks += walk_delta * skipped
+                core.clock.advance(int(result.cycles) * skipped)
 
-        snap = core.perf.snapshot()
-        walks_before = core.walker.completed_walks
-        result = execute(va, page_size_hint=hint)
-        steady[i] = result.cycles
-
-        if skipped:
-            delta = core.perf.delta_since(snap)
-            for event, count in delta.items():
-                if count:
-                    core.perf.increment(event, count * skipped)
-            walk_delta = core.walker.completed_walks - walks_before
-            if walk_delta:
-                core.walker.completed_walks += walk_delta * skipped
-            core.clock.advance(int(result.cycles) * skipped)
-
-    # each of the n x rounds timed measurements charges the RDTSC +
-    # loop overhead the per-op _observe() path would have charged
-    core.clock.advance(
-        n * rounds * (cpu.measurement_overhead + cpu.loop_overhead)
-    )
+        # each of this VA's ``rounds`` timed measurements charges the
+        # RDTSC + loop overhead the per-op _observe() path would have
+        core.clock.advance(per_va_overhead)
 
     timed = np.repeat(steady[:, None], rounds, axis=1)
     if not warm:
         timed[:, 0] = first
-    noise = core.noise.sample_array(core.rng, (n, rounds)).astype(np.int64)
+    if chaos is None:
+        noise = core.noise.sample_array(core.rng, (n, rounds)).astype(np.int64)
     measured = timed + cpu.measurement_overhead + noise
-    if core.timer_resolution > 1:
+    if chaos is not None:
+        measured[:, 0] += spike_col
+        measured -= measured % resolution[:, None]
+    elif core.timer_resolution > 1:
         measured -= measured % core.timer_resolution
 
     if reduce == "mean":

@@ -42,3 +42,35 @@ class ConfigError(ReproError):
 
 class AttackError(ReproError):
     """An attack could not run in the requested environment."""
+
+
+class CalibrationError(AttackError):
+    """The self-calibration produced an implausible decision boundary.
+
+    Raised by the supervisor's calibration sanity check when the measured
+    store distribution is too wide or sits nowhere near the analytically
+    expected assist mode -- the symptom of a disturbance (DVFS step,
+    interrupt storm) landing inside the calibration window.
+    """
+
+
+class ProbeBudgetExceeded(AttackError):
+    """An adaptive attack ran out of its probe/time budget.
+
+    Carries how much was spent so the supervisor can fold it into the
+    final verdict instead of surfacing a traceback.
+    """
+
+    def __init__(self, message, probes_spent=0, elapsed_ms=0.0):
+        self.probes_spent = probes_spent
+        self.elapsed_ms = elapsed_ms
+        super().__init__(message)
+
+
+class DisturbanceAbort(AttackError):
+    """An attempt was aborted because a disturbance invalidated its data.
+
+    The canonical case is a mid-scan KASLR re-randomization: every timing
+    collected before the event refers to a layout that no longer exists,
+    so the attempt is discarded and retried rather than scored.
+    """

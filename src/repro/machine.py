@@ -53,13 +53,24 @@ class Machine:
         self.playground = playground
         self.instance = instance
         self.enclave = None
+        #: disturbance runtime (:class:`repro.chaos.ChaosRuntime`) or None
+        self.chaos = None
+
+    def _attach_chaos(self, profile, chaos_rng):
+        """Attach a disturbance runtime (no-op when ``profile`` is None)."""
+        if profile is None:
+            return self
+        from repro.chaos import ChaosRuntime
+
+        self.chaos = ChaosRuntime(profile, rng=chaos_rng).attach(self)
+        return self
 
     # -- factories -------------------------------------------------------------
 
     @classmethod
     def linux(cls, cpu="i5-12400F", seed=0, kernel_version="5.11.0-27",
               kaslr=True, kpti=None, pcid=None, flare=False, fgkaslr=False,
-              modules=None, libraries=None, noise_factor=1.0):
+              modules=None, libraries=None, noise_factor=1.0, chaos=None):
         """Boot a Linux machine.
 
         ``kpti=None`` follows the distro default: enabled exactly when the
@@ -67,16 +78,22 @@ class Machine:
         use PCID-tagged TLB entries when the CPU has them (all modelled
         parts do); pass ``pcid=False`` for a ``nopcid`` boot, where every
         kernel exit flushes instead.
+
+        ``chaos`` (a profile name or :class:`~repro.chaos.ChaosProfile`)
+        attaches a disturbance-injection runtime seeded from the
+        machine's 4th spawned stream -- the first three streams are
+        unchanged, so chaos-off machines are bit-identical to before.
         """
         cpu = get_cpu_model(cpu)
         if kpti is None:
             kpti = cpu.meltdown_vulnerable
         if pcid is None:
             pcid = kpti
-        seeds = np.random.SeedSequence(seed).spawn(3)
+        seeds = np.random.SeedSequence(seed).spawn(4)
         layout_rng = np.random.default_rng(seeds[0])
         noise_rng = np.random.default_rng(seeds[1])
         machine_rng = np.random.default_rng(seeds[2])
+        chaos_rng = np.random.default_rng(seeds[3])
 
         kernel = LinuxKernel(
             version=kernel_version, kaslr=kaslr, kpti=kpti,
@@ -92,17 +109,18 @@ class Machine:
             else:
                 core.kernel_exit_flushes = True
         playground = cls._build_playground(process)
-        return cls(cpu, kernel, core, machine_rng, "linux", process=process,
-                   playground=playground)
+        machine = cls(cpu, kernel, core, machine_rng, "linux",
+                      process=process, playground=playground)
+        return machine._attach_chaos(chaos, chaos_rng)
 
     @classmethod
     def windows(cls, cpu="i5-12400F", seed=0, version="21H2", kvas=None,
-                noise_factor=1.0):
+                noise_factor=1.0, chaos=None):
         """Boot a Windows 10 machine (KVAS follows Meltdown vulnerability)."""
         cpu = get_cpu_model(cpu)
         if kvas is None:
             kvas = cpu.meltdown_vulnerable
-        seeds = np.random.SeedSequence(seed).spawn(3)
+        seeds = np.random.SeedSequence(seed).spawn(4)
         kernel = WindowsKernel(
             version=version, kvas=kvas,
             rng=np.random.default_rng(seeds[0]),
@@ -111,11 +129,12 @@ class Machine:
         core.noise.sigma *= noise_factor
         core.set_address_space(kernel.user_space)
         playground = cls._build_windows_playground(kernel)
-        return cls(cpu, kernel, core, np.random.default_rng(seeds[2]),
-                   "windows", playground=playground)
+        machine = cls(cpu, kernel, core, np.random.default_rng(seeds[2]),
+                      "windows", playground=playground)
+        return machine._attach_chaos(chaos, np.random.default_rng(seeds[3]))
 
     @classmethod
-    def cloud(cls, provider, seed=0):
+    def cloud(cls, provider, seed=0, chaos=None):
         """Rent one of the paper's cloud instances ('ec2', 'gce', 'azure')."""
         if provider not in CLOUD_CATALOG:
             raise ConfigError(
@@ -129,12 +148,13 @@ class Machine:
                 cpu=instance.cpu_key, seed=seed,
                 kernel_version=instance.kernel_version,
                 kpti=instance.kpti, noise_factor=instance.noise_factor,
+                chaos=chaos,
             )
         else:
             machine = cls.windows(
                 cpu=instance.cpu_key, seed=seed,
                 version=instance.kernel_version, kvas=instance.kvas,
-                noise_factor=instance.noise_factor,
+                noise_factor=instance.noise_factor, chaos=chaos,
             )
         machine.instance = instance
         return machine

@@ -211,6 +211,48 @@ class LinuxKernel:
             if self.kernel_space.translate(va) is None:
                 self.kernel_space.map_range(va, PAGE_SIZE, _KTEXT)
 
+    def rerandomize(self):
+        """Mid-run KASLR re-randomization: move the image to a fresh base.
+
+        Models runtime re-randomization defenses (and the chaos runtime's
+        worst-case disturbance): the image, its 4 KiB tails and -- under
+        KPTI -- the user-visible trampoline alias are unmapped, a new base
+        is drawn from the same policy RNG, and everything is remapped
+        there.  Function addresses and the entry point move with it.
+
+        Returns the new base.  No-ops (returning the current base) when
+        KASLR is off or FLARE dummies pin the whole slot space -- there is
+        nowhere distinguishable to move to.
+        """
+        if not self.kaslr_enabled or self.flare:
+            return self.base
+        old_base = self.base
+        text_2m = max(1, self.image_2m_pages // 2)
+        for i in range(self.image_2m_pages):
+            page_size = PAGE_SIZE_2M
+            if self.fgkaslr and i < text_2m:
+                page_size = PAGE_SIZE
+            self.kernel_space.unmap_range(
+                old_base + i * PAGE_SIZE_2M, PAGE_SIZE_2M,
+                page_size=page_size,
+            )
+        for offset in layout.KERNEL_4K_PAGE_OFFSETS:
+            self.kernel_space.unmap_range(old_base + offset, PAGE_SIZE)
+        if self.kpti:
+            for i in range(layout.KPTI_TRAMPOLINE_PAGES):
+                va = old_base + self.trampoline_offset + i * PAGE_SIZE
+                self.user_space.page_table.unmap(va)
+
+        self.base = self.policy.kernel_base(
+            image_2m_pages=self.image_2m_pages,
+            extra_tail_bytes=max(layout.KERNEL_4K_PAGE_OFFSETS) + PAGE_SIZE,
+        )
+        self._map_image()
+        self._place_functions()
+        if self.kpti:
+            self._map_trampoline()
+        return self.base
+
     # -- ground truth (root-only files) ---------------------------------------
 
     def kallsyms(self):

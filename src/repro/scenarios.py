@@ -140,6 +140,42 @@ def _run_sgx(machine, params):
     }
 
 
+@_attack("supervised")
+def _run_supervised(machine, params):
+    """Any attack through the supervisor (for chaos scenarios)."""
+    from repro.attacks.supervisor import supervise
+
+    attack = params.pop("attack", "kaslr")
+    verdict = supervise(
+        machine, attack,
+        max_retries=params.pop("max_retries", 3),
+        probe_budget=params.pop("probe_budget", None),
+        batched=params.pop("batched", True),
+        **params,
+    )
+    observations = {
+        "status": verdict.status,
+        "confidence": verdict.confidence,
+        "retries": verdict.retries,
+        "disturbances": len(verdict.disturbances),
+        "probes": verdict.probes_spent,
+    }
+    if attack in ("kaslr", "kpti", "windows"):
+        observations["correct"] = verdict.value == machine.kernel.base
+    elif attack == "modules":
+        truth = machine.kernel.module_map
+        observations["correct"] = bool(verdict.value) and all(
+            truth.get(name, (None,))[0] == addr
+            for name, addr in verdict.value.items()
+        )
+        observations["identified"] = len(verdict.value or {})
+    elif attack in ("userspace", "sgx"):
+        observations["correct"] = verdict.value == machine.process.text_base
+    else:
+        observations["correct"] = verdict.found
+    return observations
+
+
 @_attack("fingerprint")
 def _run_fingerprint(machine, params):
     from repro.attacks.fingerprint import ApplicationFingerprinter
@@ -215,7 +251,16 @@ def run_scenario(scenario):
     """Run one scenario (dict, JSON text, or file path)."""
     if isinstance(scenario, (str, pathlib.Path)):
         path = pathlib.Path(scenario)
-        scenario = json.loads(path.read_text())
+        try:
+            scenario = json.loads(path.read_text())
+        except OSError as error:
+            raise ConfigError(
+                "cannot read scenario {}: {}".format(path, error)
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                "scenario {} is not valid JSON: {}".format(path, error)
+            ) from error
     for field in ("name", "machine", "attack"):
         if field not in scenario:
             raise ConfigError(
@@ -239,24 +284,43 @@ def run_scenario(scenario):
     )
 
 
+def _run_scenario_guarded(path):
+    """Pool-safe wrapper: a crashing scenario becomes a FAIL result.
+
+    Module-level (so it pickles into worker processes) and
+    exception-free (so one broken scenario file cannot take down the
+    whole suite with a raw traceback from the parent).
+    """
+    try:
+        return run_scenario(path)
+    except Exception as error:
+        name = pathlib.Path(path).stem
+        return ScenarioResult(
+            name, False, {"error": repr(error)},
+            ["scenario crashed: {!r}".format(error)],
+        )
+
+
 def run_suite(directory, jobs=None):
     """Run every ``*.json`` scenario in a directory, sorted by name.
 
     ``jobs`` > 1 fans the scenarios out over a process pool (each
     scenario boots its own machine, so they are fully independent);
     results come back in the same sorted-by-name order as the serial
-    path.  Workers are capped at the machine's core count --
-    oversubscribing a smaller box is pure scheduling overhead.
+    path, and a worker crash is reported as a failed ScenarioResult
+    rather than aborting the suite.  Workers are capped at the
+    machine's core count -- oversubscribing a smaller box is pure
+    scheduling overhead.
     """
     directory = pathlib.Path(directory)
     paths = sorted(directory.glob("*.json"))
     if jobs is not None:
         jobs = min(jobs, os.cpu_count() or 1)
     if jobs is None or jobs <= 1 or len(paths) <= 1:
-        return [run_scenario(path) for path in paths]
+        return [_run_scenario_guarded(path) for path in paths]
 
     import concurrent.futures
 
     workers = min(jobs, len(paths))
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_scenario, paths))
+        return list(pool.map(_run_scenario_guarded, paths))

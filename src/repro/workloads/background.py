@@ -21,18 +21,29 @@ class NoisyNeighbor:
     """
 
     def __init__(self, machine, pressure=32, footprint_pages=2048,
-                 rng=None, seed=0):
+                 rng=None, seed=0, base=None):
         self.machine = machine
         self.core = machine.core
         if rng is None:
             rng = np.random.default_rng(seed)
         self.rng = rng
         self.pressure = pressure
-        if machine.process is None:
-            raise ValueError("NoisyNeighbor needs a process to mmap into")
-        self.base = machine.process.mmap(
-            footprint_pages, "rw-", name="neighbor-heap"
-        )
+        if base is None:
+            if machine.process is None:
+                raise ValueError("NoisyNeighbor needs a process to mmap into")
+            base = machine.process.mmap(
+                footprint_pages, "rw-", name="neighbor-heap"
+            )
+        else:
+            # pre-placed heap (machines without a Process, e.g. Windows):
+            # the caller maps it and hands over the base address
+            from repro.mmu.flags import flags_from_prot
+
+            machine.core.address_space.map_range(
+                base, footprint_pages * PAGE_SIZE,
+                flags_from_prot(read=True, write=True),
+            )
+        self.base = base
         self.footprint_pages = footprint_pages
 
     def run(self):

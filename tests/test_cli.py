@@ -64,3 +64,64 @@ class TestCommands:
     def test_unknown_cpu_clean_error(self, capsys):
         assert main(["kaslr", "--cpu", "z80"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStructuredFailures:
+    def test_config_error_is_one_json_line_on_stderr(self, capsys):
+        import json
+
+        assert main(["kaslr", "--cpu", "z80"]) == 2
+        err = capsys.readouterr().err
+        record = json.loads(err.strip())
+        assert record["error"] == "ConfigError"
+        assert "z80" in record["message"]
+        assert "Traceback" not in err
+
+    def test_attack_error_is_structured_too(self, capsys, tmp_path):
+        import json
+
+        scenario = tmp_path / "bad.json"
+        scenario.write_text(json.dumps({
+            "name": "bad",
+            "machine": {"os": "linux", "seed": 0},
+            "attack": {"kind": "supervised", "attack": "rowhammer"},
+        }))
+        assert main(["scenario", str(scenario)]) == 2
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["error"] == "AttackError"
+        assert "rowhammer" in record["message"]
+
+
+class TestChaosCommand:
+    def test_list_profiles(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("quiet", "default", "hostile", "rerandomizing"):
+            assert name in out
+
+    def test_supervised_kaslr_under_default_profile(self, capsys):
+        assert main(["chaos", "kaslr", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CORRECT" in out
+        assert "disturbances" in out
+
+    def test_json_verdict_output(self, capsys):
+        import json
+
+        assert main(["chaos", "kaslr", "--seed", "3", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["status"] == "found"
+        assert record["attack"] == "kaslr"
+
+    def test_chaos_profile_flag_on_attack_commands(self, capsys):
+        assert main(["kaslr", "--chaos-profile", "default",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CORRECT" in out and "retries" in out
+
+    def test_unknown_profile_is_a_structured_error(self, capsys):
+        import json
+
+        assert main(["chaos", "kaslr", "--profile", "nope"]) == 2
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["error"] == "ConfigError"

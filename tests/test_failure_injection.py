@@ -87,6 +87,46 @@ class TestWrongAttackerKnowledge:
         assert set(result.identified) <= loaded
 
 
+class TestMidRunDisturbances:
+    """Dynamic faults (chaos runtime), not just static noise factors."""
+
+    def test_raw_attack_survives_the_default_profile(self):
+        machine = Machine.linux(seed=960, chaos="default", kpti=False)
+        result = break_kaslr_intel(machine, batched=True)
+        # open-loop: completes and returns a full scan, right or wrong,
+        # never an exception
+        assert len(result.timings) == 512
+        assert machine.chaos.log  # disturbances actually fired
+
+    def test_raw_attack_survives_the_hostile_profile(self):
+        machine = Machine.linux(seed=961, chaos="hostile", kpti=False)
+        result = break_kaslr_intel(machine, batched=True)
+        assert len(result.timings) == 512
+
+    def test_supervised_attack_closes_the_loop(self):
+        from repro.attacks.supervisor import supervise
+
+        machine = Machine.linux(seed=961, chaos="hostile", kpti=False)
+        verdict = supervise(machine, "kaslr", batched=True)
+        assert verdict.status in ("found", "abstain", "failed")
+        assert verdict.disturbances
+
+    def test_chaos_schedule_is_mode_agnostic(self):
+        outcomes = []
+        for batched in (True, False):
+            machine = Machine.linux(seed=962, chaos="default", kpti=False)
+            break_kaslr_intel(machine, batched=batched)
+            outcomes.append(
+                (machine.chaos.log_as_dicts(), machine.clock.cycles)
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_module_detection_under_chaos_returns_regions(self):
+        machine = Machine.linux(seed=963, chaos="default", kpti=False)
+        result = detect_modules(machine, batched=True)
+        assert result.regions  # degraded maybe, but never empty-handed
+
+
 class TestEnvironmentMismatches:
     def test_kaslr_disabled_attack_reports_fixed_base(self):
         machine = Machine.linux(seed=957, kaslr=False)

@@ -7,6 +7,7 @@ from repro.attacks.fingerprint import (
     Observation,
     fingerprint_confusion,
 )
+from repro.errors import AttackError
 from repro.machine import Machine
 from repro.workloads.apps import (
     APP_CATALOG,
@@ -95,7 +96,7 @@ class TestFingerprinter:
         assert ranking[0][1] <= ranking[-1][1]
 
     def test_unknown_sentinel_rejected(self, spy_machine):
-        with pytest.raises(ValueError):
+        with pytest.raises(AttackError):
             ApplicationFingerprinter(
                 spy_machine, sentinels=("coretemp",),  # non-unique size
             )

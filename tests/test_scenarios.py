@@ -123,3 +123,52 @@ class TestShippedScenarios:
         ])
         assert code == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestSupervisedScenarios:
+    def test_supervised_kind_reports_verdict_fields(self):
+        result = run_scenario(_scenario(
+            machine={"os": "linux", "seed": 11, "kpti": False,
+                     "chaos": "default"},
+            attack={"kind": "supervised", "attack": "kaslr"},
+            expect={"correct": True, "status": "found", "max_retries": 3},
+        ))
+        assert result.passed, result.violations
+        assert result.observations["disturbances"] > 0
+
+    def test_shipped_chaos_scenarios_pass(self):
+        for stem in ("chaos_default_kaslr", "chaos_rerandomizing_kaslr"):
+            result = run_scenario(SCENARIO_DIR / (stem + ".json"))
+            assert result.passed, (stem, result.violations)
+
+
+class TestSuiteCrashHandling:
+    def _write(self, tmp_path, name, scenario):
+        (tmp_path / name).write_text(json.dumps(scenario))
+
+    def test_pool_survives_a_crashing_scenario(self, tmp_path):
+        self._write(tmp_path, "a_good.json", _scenario(name="good"))
+        self._write(tmp_path, "b_bad.json", _scenario(
+            name="bad", machine={"os": "plan9"}
+        ))
+        results = run_suite(tmp_path, jobs=2)
+        assert len(results) == 2
+        by_name = {r.name: r for r in results}
+        assert by_name["good"].passed
+        crashed = by_name["b_bad"]
+        assert not crashed.passed
+        assert any("crashed" in v for v in crashed.violations)
+
+    def test_cli_suite_reports_crash_with_nonzero_exit(self, tmp_path,
+                                                       capsys):
+        from repro.cli import main
+
+        self._write(tmp_path, "a_good.json", _scenario(name="good"))
+        self._write(tmp_path, "b_bad.json", _scenario(
+            name="bad", machine={"os": "plan9"}
+        ))
+        code = main(["suite", str(tmp_path), "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "crashed" in out
+        assert "1 / 2 scenarios passed" in out
