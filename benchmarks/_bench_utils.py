@@ -2,6 +2,8 @@
 
 import pathlib
 
+from repro.ioutil import write_atomic
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -14,7 +16,7 @@ def write_result(name, text):
     """Persist one reproduced table/figure and echo it."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / (name + ".txt")
-    path.write_text(text + "\n")
+    write_atomic(path, text + "\n")
     print("\n" + text)
     return path
 
@@ -23,5 +25,5 @@ def write_svg(name, svg_text):
     """Persist one rendered SVG figure."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / (name + ".svg")
-    path.write_text(svg_text)
+    write_atomic(path, svg_text)
     return path

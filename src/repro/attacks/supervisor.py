@@ -63,6 +63,24 @@ AMBIGUITY_MARGIN_CYCLES = 6.0
 #: post-attack re-measurement, on top of the sigma-scaled slack
 DRIFT_SLACK_CYCLES = 10.0
 
+#: confidence multiplier applied when a verdict is degraded instead of
+#: dropped (deadline exhaustion, late completion under a campaign)
+DEGRADE_FACTOR = 0.5
+
+
+def apply_degradation(status, confidence, factor=DEGRADE_FACTOR):
+    """The degradation rule shared by verdicts and scenario results.
+
+    A budget- or deadline-compromised outcome keeps its value but loses
+    trust: the confidence is scaled down by ``factor`` and a ``found``
+    status that no longer clears the reporting bar becomes ``abstain``.
+    Returns the downgraded ``(status, confidence)``.
+    """
+    confidence = confidence * factor
+    if status == FOUND and confidence < FOUND_CONFIDENCE:
+        status = ABSTAIN
+    return status, confidence
+
 
 class AttemptRecord:
     """What happened during one supervised attempt."""
@@ -100,10 +118,12 @@ class Verdict:
         "disturbances",
         "probes_spent",
         "elapsed_ms",
+        "degraded",
     )
 
     def __init__(self, attack, status, value, result, confidence, retries,
-                 attempts, disturbances, probes_spent, elapsed_ms):
+                 attempts, disturbances, probes_spent, elapsed_ms,
+                 degraded=None):
         self.attack = attack
         self.status = status
         #: the attack's headline answer (kernel base, module dict, ...)
@@ -117,10 +137,20 @@ class Verdict:
         self.disturbances = disturbances
         self.probes_spent = probes_spent
         self.elapsed_ms = elapsed_ms
+        #: degradation reason ("deadline", "budget", ...) or None
+        self.degraded = degraded
 
     @property
     def found(self):
         return self.status == FOUND
+
+    def degrade(self, reason, factor=DEGRADE_FACTOR):
+        """Downgrade this verdict in place instead of dropping it."""
+        self.degraded = reason
+        self.status, self.confidence = apply_degradation(
+            self.status, self.confidence, factor
+        )
+        return self
 
     def as_dict(self):
         value = self.value
@@ -136,6 +166,7 @@ class Verdict:
             "disturbances": self.disturbances,
             "probes_spent": self.probes_spent,
             "elapsed_ms": round(self.elapsed_ms, 3),
+            "degraded": self.degraded,
         }
 
     def __repr__(self):

@@ -1,0 +1,201 @@
+"""The campaign write-ahead journal: checksummed, append-only JSONL.
+
+Every state transition of a campaign -- unit started, unit finished,
+unit retried, unit skipped -- is appended to one JSONL file *before*
+the in-memory state advances, so a campaign killed at any instruction
+can be replayed from disk.  Three properties make that safe:
+
+* **checksummed records** -- each line carries a CRC32 of its own
+  canonical serialization; replay rejects bit rot and hand edits;
+* **durable appends** -- each record is one ``write`` + ``fsync``, so
+  a crash leaves at most one torn line, always at the tail;
+* **tolerant replay** -- a torn tail is truncated and the journal is
+  reopened for append at the last good record.  Corruption anywhere
+  *else* raises :class:`~repro.errors.JournalCorrupt` instead of
+  silently dropping completed work.
+
+Replay is idempotent over duplicate events: if a crash lands between a
+``unit-finish`` append and the supervisor's acknowledgement, the retry
+appends a second finish for the same unit; :func:`fold_records` keeps
+the first and ignores the rest, so the replayed state -- and therefore
+the final result store -- is identical either way.
+"""
+
+import json
+import os
+import pathlib
+import zlib
+
+from repro.errors import CampaignError, JournalCorrupt
+from repro.ioutil import append_durable, fsync_directory
+
+#: journal schema version, stamped into every record
+JOURNAL_VERSION = 1
+
+#: record types
+CAMPAIGN_START = "campaign-start"
+CAMPAIGN_FINISH = "campaign-finish"
+UNIT_START = "unit-start"
+UNIT_FINISH = "unit-finish"
+UNIT_RETRY = "unit-retry"
+UNIT_SKIP = "unit-skip"
+
+
+def _canonical(record):
+    """The byte string the checksum covers (sans the crc field)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def record_crc(record):
+    """CRC32 of the record's canonical form, as 8 hex digits."""
+    return format(zlib.crc32(_canonical(record).encode("utf-8")), "08x")
+
+
+def seal(record):
+    """Stamp version + checksum; return the line to append (with \\n)."""
+    record.setdefault("v", JOURNAL_VERSION)
+    record["crc"] = record_crc(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def replay(path):
+    """Read a journal; return ``(records, good_bytes)``.
+
+    ``good_bytes`` is the byte offset just past the last intact record.
+    A damaged *final* line (torn by a crash mid-append) is tolerated
+    and excluded; a damaged line with intact records after it raises
+    :class:`JournalCorrupt`.
+    """
+    raw = pathlib.Path(path).read_bytes()
+    records, good_bytes = [], 0
+    offset = 0
+    bad = None  # (line_number, reason) of the first damaged line
+    for number, line in enumerate(raw.splitlines(keepends=True), start=1):
+        stripped = line.strip()
+        end = offset + len(line)
+        if stripped:
+            reason = None
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                reason = "unparseable ({})".format(error.__class__.__name__)
+            else:
+                if not isinstance(record, dict):
+                    reason = "not a JSON object"
+                elif record.get("crc") != record_crc(record):
+                    reason = "checksum mismatch"
+            if reason is not None:
+                if bad is None:
+                    bad = (number, reason)
+            elif bad is not None:
+                raise JournalCorrupt(
+                    "journal {} line {}: {} (intact records follow -- "
+                    "refusing to resume from a damaged journal)".format(
+                        path, bad[0], bad[1]
+                    ),
+                    line_number=bad[0],
+                )
+            else:
+                records.append(record)
+                good_bytes = end
+        offset = end
+    return records, good_bytes
+
+
+class CampaignJournal:
+    """Append-only journal handle for one campaign."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def open(self):
+        """Replay any existing journal, truncate a torn tail, open for
+        append.  Returns the list of intact records (empty for a fresh
+        journal)."""
+        records = []
+        if self.path.exists():
+            records, good_bytes = replay(self.path)
+            if good_bytes < self.path.stat().st_size:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+        fsync_directory(self.path.parent)
+        return records
+
+    def append(self, record_type, **payload):
+        """Durably append one record; returns the sealed record."""
+        if self._handle is None:
+            raise CampaignError("journal is not open")
+        record = {"type": record_type}
+        record.update(payload)
+        append_durable(self._handle, seal(record))
+        return record
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def fold_records(records):
+    """Collapse a replayed record list into per-unit state.
+
+    Returns ``(meta, units)`` where ``meta`` is the campaign-start
+    payload (or None) plus a ``finished`` flag, and ``units`` maps
+    unit id -> ``{"status", "attempts", "result", "reason"}``.  Replay
+    is idempotent: the *first* finish/skip of a unit wins, duplicates
+    are ignored.
+    """
+    meta = {"config": None, "finished": False}
+    units = {}
+
+    def state(unit_id):
+        return units.setdefault(
+            unit_id,
+            {"status": "pending", "attempts": 0, "result": None,
+             "reason": None},
+        )
+
+    for record in records:
+        kind = record.get("type")
+        if kind == CAMPAIGN_START:
+            if meta["config"] is None:
+                meta["config"] = {
+                    k: v for k, v in record.items()
+                    if k not in ("type", "v", "crc")
+                }
+        elif kind == CAMPAIGN_FINISH:
+            meta["finished"] = True
+        elif kind == UNIT_START:
+            entry = state(record["unit"])
+            if entry["status"] == "pending":
+                entry["status"] = "running"
+            entry["attempts"] = max(
+                entry["attempts"], record.get("attempt", 0) + 1
+            )
+        elif kind == UNIT_RETRY:
+            entry = state(record["unit"])
+            if entry["status"] in ("pending", "running"):
+                entry["status"] = "running"
+                entry["reason"] = record.get("reason")
+        elif kind == UNIT_FINISH:
+            entry = state(record["unit"])
+            if entry["status"] not in ("done", "skipped"):
+                entry["status"] = "done"
+                entry["result"] = record.get("result")
+        elif kind == UNIT_SKIP:
+            entry = state(record["unit"])
+            if entry["status"] not in ("done", "skipped"):
+                entry["status"] = "skipped"
+                entry["reason"] = record.get("reason")
+    return meta, units

@@ -1,0 +1,325 @@
+"""Campaign orchestration: plan, journal, run, resume, degrade, report.
+
+A *campaign* is one scenario directory turned into a durable unit of
+work.  Each scenario file becomes a unit; the journal
+(:mod:`repro.campaign.journal`) records every unit transition before it
+happens, and the supervised pool (:mod:`repro.campaign.pool`) executes
+units with watchdogs and crash recovery.  The contract:
+
+* **kill-resume determinism** -- SIGKILL the campaign process at any
+  point, ``resume`` the journal, and the final result store is
+  byte-identical (modulo the two wall-clock fields) to an
+  uninterrupted run of the same seeds.  Completed units are never
+  re-executed; interrupted units re-run from scratch, and because
+  every unit is a pure function of its scenario file (seeds included),
+  the re-run reproduces the exact result the uninterrupted run would
+  have produced -- the journaled chaos schedule digests make that
+  checkable record by record;
+* **no lost work** -- the result store is rebuilt *from the journal*
+  in both the clean and the resumed path, so the two serialize through
+  identical code and completed results survive any crash;
+* **deadline-aware degradation** -- when the wall-clock deadline
+  expires, queued units are marked ``SKIPPED(deadline)`` and reported,
+  in-flight units may finish (bounded by the watchdog) but their
+  confidence-scored observations are downgraded via the supervisor's
+  degradation rule rather than dropped.
+"""
+
+import hashlib
+import json
+import pathlib
+import time
+
+from repro.campaign import journal as wal
+from repro.campaign.journal import CampaignJournal, fold_records
+from repro.campaign.pool import OK, SupervisedPool
+from repro.errors import CampaignError
+from repro.ioutil import write_json_atomic
+from repro.scenarios import ScenarioResult, _run_scenario_guarded
+
+#: schema tag of the atomically-written result store
+RESULT_SCHEMA = "repro-campaign-result/v1"
+#: schema tag stamped into the campaign-start journal record
+JOURNAL_SCHEMA = "repro-campaign-journal/v1"
+
+#: default per-unit wall-clock watchdog (seconds)
+DEFAULT_WATCHDOG_S = 300.0
+#: default per-unit retry budget for killed/hung workers
+DEFAULT_MAX_RETRIES = 2
+
+
+def _sha256_file(path):
+    return hashlib.sha256(pathlib.Path(path).read_bytes()).hexdigest()[:16]
+
+
+def plan_units(directory):
+    """One unit per ``*.json`` scenario: id, path, digest, seed, chaos.
+
+    The config digest pins the exact scenario bytes; the machine seed
+    and chaos profile are lifted out of the spec so the journal records
+    what a resumed run must rebuild bit-identically.
+    """
+    directory = pathlib.Path(directory)
+    units = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            spec = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CampaignError(
+                "cannot plan campaign: {}: {}".format(path, error)
+            ) from error
+        machine_spec = spec.get("machine") or {}
+        units.append({
+            "id": path.stem,
+            "path": str(path),
+            "sha256": _sha256_file(path),
+            "seed": machine_spec.get("seed", 0),
+            "chaos": machine_spec.get("chaos"),
+        })
+    if not units:
+        raise CampaignError(
+            "no *.json scenarios in {}".format(directory)
+        )
+    return units
+
+
+def _run_unit(path):
+    """Module-level pool worker: run one scenario, return its dict."""
+    return _run_scenario_guarded(path).as_dict()
+
+
+class CampaignReport:
+    """What a finished (or resumed-to-finished) campaign hands back."""
+
+    __slots__ = ("store", "store_path")
+
+    def __init__(self, store, store_path):
+        self.store = store
+        self.store_path = store_path
+
+    @property
+    def summary(self):
+        return self.store["summary"]
+
+    @property
+    def ok(self):
+        summary = self.summary
+        return summary["failed"] == 0 and summary["skipped"] == 0
+
+
+class CampaignRunner:
+    """Drive one campaign journal to completion."""
+
+    def __init__(self, journal_path, directory=None, jobs=1,
+                 watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
+                 max_retries=DEFAULT_MAX_RETRIES, store_path=None):
+        self.journal = CampaignJournal(journal_path)
+        self.directory = directory
+        self.jobs = max(1, jobs)
+        self.watchdog_s = watchdog_s
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
+        if store_path is None:
+            store_path = pathlib.Path(journal_path).with_suffix(
+                ".results.json"
+            )
+        self.store_path = pathlib.Path(store_path)
+
+    # -- entry points ----------------------------------------------------------
+
+    def run(self, resume=False):
+        """Run (or resume) the campaign; returns a :class:`CampaignReport`.
+
+        A fresh journal starts a new campaign over ``directory``.  An
+        existing journal requires ``resume=True``; its campaign-start
+        record then fixes the unit set and the supervision parameters,
+        and only units without a journaled finish/skip are executed.
+        """
+        exists = self.journal.path.exists() \
+            and self.journal.path.stat().st_size > 0
+        if exists and not resume:
+            raise CampaignError(
+                "journal {} already exists; resume it (or choose a new "
+                "journal path)".format(self.journal.path)
+            )
+        records = self.journal.open()
+        try:
+            return self._execute(records)
+        finally:
+            self.journal.close()
+
+    def status(self):
+        """Read-only view of a journal: (config, unit-state dict)."""
+        if not self.journal.path.exists():
+            raise CampaignError(
+                "no journal at {}".format(self.journal.path)
+            )
+        records, __ = wal.replay(self.journal.path)
+        meta, folded = fold_records(records)
+        if meta["config"] is None:
+            raise CampaignError(
+                "journal {} has no campaign-start record".format(
+                    self.journal.path
+                )
+            )
+        return meta, folded
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute(self, records):
+        meta, folded = fold_records(records)
+        if records and meta["config"] is None:
+            raise CampaignError(
+                "journal {} has no campaign-start record".format(
+                    self.journal.path
+                )
+            )
+        if records:
+            config = meta["config"]
+            self._verify_unit_digests(config["units"])
+            self.watchdog_s = config.get("watchdog_s", self.watchdog_s)
+            self.max_retries = config.get("max_retries", self.max_retries)
+            if self.deadline_s is None:
+                self.deadline_s = config.get("deadline_s")
+        else:
+            if self.directory is None:
+                raise CampaignError(
+                    "a new campaign needs a scenario directory"
+                )
+            config = {
+                "schema": JOURNAL_SCHEMA,
+                "directory": str(self.directory),
+                "watchdog_s": self.watchdog_s,
+                "deadline_s": self.deadline_s,
+                "max_retries": self.max_retries,
+                "units": plan_units(self.directory),
+            }
+            self.journal.append(wal.CAMPAIGN_START, **config)
+
+        pending = [
+            unit for unit in config["units"]
+            if folded.get(unit["id"], {}).get("status")
+            not in ("done", "skipped")
+        ]
+        start = time.monotonic()
+        deadline = None
+        if self.deadline_s is not None:
+            deadline = start + self.deadline_s
+        if pending:
+            pool = SupervisedPool(
+                jobs=self.jobs, watchdog_s=self.watchdog_s,
+                max_retries=self.max_retries,
+            )
+            pool.run(
+                [(unit["id"], unit["path"]) for unit in pending],
+                _run_unit,
+                deadline=deadline,
+                on_start=self._on_start,
+                on_retry=self._on_retry,
+                on_skip=self._on_skip,
+                on_finish=self._on_finish,
+            )
+        if not meta["finished"]:
+            self.journal.append(wal.CAMPAIGN_FINISH)
+        wall_elapsed = time.monotonic() - start
+
+        # Rebuild the final state purely from the journal: the clean
+        # and the resumed paths then serialize through identical code,
+        # which is what makes the stores byte-comparable.
+        records, __ = wal.replay(self.journal.path)
+        meta, folded = fold_records(records)
+        store = self._build_store(meta["config"], folded, wall_elapsed)
+        write_json_atomic(self.store_path, store)
+        return CampaignReport(store, self.store_path)
+
+    def _verify_unit_digests(self, units):
+        for unit in units:
+            path = pathlib.Path(unit["path"])
+            if not path.exists():
+                raise CampaignError(
+                    "scenario {} vanished since the campaign started"
+                    .format(path)
+                )
+            if _sha256_file(path) != unit["sha256"]:
+                raise CampaignError(
+                    "scenario {} changed since the campaign started "
+                    "(config digest mismatch); resuming would mix "
+                    "results from two different configurations"
+                    .format(path)
+                )
+
+    # -- pool callbacks (each journals before state advances) ------------------
+
+    def _on_start(self, unit_id, attempt):
+        self.journal.append(wal.UNIT_START, unit=unit_id,
+                            attempt=attempt - 1)
+
+    def _on_retry(self, unit_id, attempt, reason):
+        self.journal.append(wal.UNIT_RETRY, unit=unit_id,
+                            attempt=attempt - 1, reason=reason)
+
+    def _on_skip(self, unit_id, reason):
+        self.journal.append(wal.UNIT_SKIP, unit=unit_id, reason=reason)
+
+    def _on_finish(self, unit_id, outcome):
+        if outcome.status == OK:
+            result = outcome.value
+            if outcome.late:
+                result = ScenarioResult.from_dict(result) \
+                    .degrade("deadline").as_dict()
+        else:
+            result = ScenarioResult(
+                unit_id, False, {"error": outcome.detail},
+                ["unit lost: {}".format(outcome.detail)],
+            ).as_dict()
+        self.journal.append(wal.UNIT_FINISH, unit=unit_id,
+                            attempt=outcome.attempts - 1, result=result)
+
+    # -- the result store ------------------------------------------------------
+
+    @staticmethod
+    def _build_store(config, folded, wall_elapsed_s):
+        units_out = []
+        counts = {"passed": 0, "failed": 0, "skipped": 0, "degraded": 0}
+        for unit in config["units"]:
+            entry = folded.get(unit["id"]) or {"status": "pending"}
+            out = {
+                "id": unit["id"],
+                "seed": unit["seed"],
+                "chaos": unit["chaos"],
+            }
+            if entry["status"] == "done":
+                result = entry["result"]
+                out["status"] = "PASS" if result["passed"] else "FAIL"
+                out["name"] = result["name"]
+                out["observations"] = result["observations"]
+                out["violations"] = result["violations"]
+                out["chaos_digest"] = result.get("chaos_digest")
+                out["degraded"] = result.get("degraded")
+                counts["passed" if result["passed"] else "failed"] += 1
+                if result.get("degraded"):
+                    counts["degraded"] += 1
+            elif entry["status"] == "skipped":
+                out["status"] = "SKIPPED"
+                out["reason"] = entry.get("reason")
+                counts["skipped"] += 1
+            else:
+                out["status"] = "INCOMPLETE"
+                counts["failed"] += 1
+            units_out.append(out)
+        return {
+            "schema": RESULT_SCHEMA,
+            "campaign": {
+                "directory": config["directory"],
+                "watchdog_s": config["watchdog_s"],
+                "max_retries": config["max_retries"],
+                "units": len(config["units"]),
+            },
+            "units": units_out,
+            "summary": counts,
+            # the only wall-clock fields; determinism checks strip them
+            "generated_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "wall_elapsed_s": round(wall_elapsed_s, 3),
+        }

@@ -17,6 +17,8 @@ Two invariants make runs bit-reproducible and mode-agnostic:
   same effects, and the same disturbance log in either mode.
 """
 
+import hashlib
+
 import numpy as np
 
 from repro.chaos import events
@@ -220,3 +222,23 @@ class ChaosRuntime:
 
     def log_as_dicts(self):
         return [event.as_dict() for event in self.log]
+
+    def schedule_digest(self):
+        """Stable digest of the fired-event schedule.
+
+        Two executions of a unit are equivalent exactly when the same
+        event kinds fired at the same simulated-clock points with the
+        same drawn parameters.  Wall time never enters the hash, so the
+        digest matches across hosts, interruptions and resumes -- the
+        campaign journal records it per unit, and the kill/resume
+        determinism checks compare it against an uninterrupted run.
+        """
+        hasher = hashlib.sha256()
+        for event in self.log:
+            hasher.update(repr((
+                event.kind,
+                event.at_cycles,
+                event.applied_at_cycles,
+                sorted(event.params.items()),
+            )).encode("utf-8"))
+        return hasher.hexdigest()[:16]

@@ -69,6 +69,8 @@ def _print_verdict(verdict, truth=None):
     print("disturbances: {}".format(
         ", ".join("{} x{}".format(k, n) for k, n in sorted(kinds.items()))
         or "none"))
+    if verdict.degraded:
+        print("degraded   : {}".format(verdict.degraded))
     for attempt in verdict.attempts:
         print("  attempt {}: {}{}".format(
             attempt.index, attempt.outcome,
@@ -281,6 +283,10 @@ def cmd_chaos(args):
     verdict = supervise(machine, args.attack, max_retries=args.max_retries,
                         probe_budget=args.probe_budget,
                         batched=not args.per_op)
+    if args.out:
+        from repro.ioutil import write_json_atomic
+
+        write_json_atomic(args.out, verdict.as_dict())
     if args.json:
         print(json.dumps(verdict.as_dict()))
     else:
@@ -313,7 +319,8 @@ def cmd_scenario(args):
 def cmd_suite(args):
     from repro.scenarios import run_suite
 
-    results = run_suite(args.directory, jobs=args.jobs)
+    results = run_suite(args.directory, jobs=args.jobs,
+                        timeout_per_scenario=args.timeout_per_scenario)
     if not results:
         print("no scenarios found in {}".format(args.directory))
         return 2
@@ -326,7 +333,70 @@ def cmd_suite(args):
             print("       {}".format(violation))
     print("{} / {} scenarios passed".format(
         sum(r.passed for r in results), len(results)))
+    if args.out:
+        from repro.ioutil import write_json_atomic
+
+        write_json_atomic(args.out, [r.as_dict() for r in results])
     return 0 if all(r.passed for r in results) else 1
+
+
+def _print_campaign_report(report):
+    for unit in report.store["units"]:
+        line = "{:<7} {}".format(unit["status"], unit["id"])
+        if unit.get("degraded"):
+            line += "  [degraded: {}]".format(unit["degraded"])
+        if unit.get("reason"):
+            line += "  ({})".format(unit["reason"])
+        print(line)
+        for violation in unit.get("violations") or []:
+            print("        {}".format(violation))
+    summary = report.summary
+    print("{passed} passed, {failed} failed, {skipped} skipped "
+          "({degraded} degraded)".format(**summary))
+    print("results: {}".format(report.store_path))
+    return 0 if report.ok else 1
+
+
+def cmd_campaign(args):
+    from repro.campaign import CampaignRunner
+    from repro.errors import CampaignError
+
+    if args.verb == "status":
+        runner = CampaignRunner(args.journal)
+        meta, folded = runner.status()
+        config = meta["config"]
+        print("campaign : {} ({} units{})".format(
+            config["directory"], len(config["units"]),
+            ", finished" if meta["finished"] else ""))
+        for unit in config["units"]:
+            entry = folded.get(unit["id"]) or {"status": "pending",
+                                               "attempts": 0}
+            detail = ""
+            if entry.get("reason"):
+                detail = "  ({})".format(entry["reason"])
+            print("{:<9} {:<32} attempts={}{}".format(
+                entry["status"], unit["id"], entry.get("attempts", 0),
+                detail))
+        return 0
+
+    if args.verb == "resume":
+        import os as _os
+
+        if not _os.path.exists(args.journal):
+            raise CampaignError(
+                "no journal at {}; start one with `repro campaign run`"
+                .format(args.journal)
+            )
+        runner = CampaignRunner(args.journal, jobs=args.jobs,
+                                store_path=args.out)
+        return _print_campaign_report(runner.run(resume=True))
+
+    runner = CampaignRunner(
+        args.journal, directory=args.directory, jobs=args.jobs,
+        watchdog_s=args.watchdog, deadline_s=args.deadline,
+        max_retries=args.max_retries, store_path=args.out,
+    )
+    return _print_campaign_report(runner.run(resume=args.resume))
 
 
 def cmd_poc(args):
@@ -430,6 +500,9 @@ def build_parser():
                    help="abort once this many probes are spent")
     p.add_argument("--json", action="store_true",
                    help="print the verdict as one JSON line")
+    p.add_argument("--out", default=None,
+                   help="also write the verdict JSON to this path "
+                        "(atomic replace-on-write)")
     _add_per_op(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -441,7 +514,57 @@ def build_parser():
     p.add_argument("directory")
     p.add_argument("--jobs", type=int, default=None,
                    help="run scenarios in N parallel processes")
+    p.add_argument("--timeout-per-scenario", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and FAIL any scenario running longer than "
+                        "this (runs scenarios in watchdogged worker "
+                        "processes)")
+    p.add_argument("--out", default=None,
+                   help="write the results as JSON to this path "
+                        "(atomic replace-on-write)")
     p.set_defaults(func=cmd_suite)
+
+    p = subparsers.add_parser(
+        "campaign",
+        help="durable, journaled, resumable scenario campaigns")
+    verbs = p.add_subparsers(dest="verb", required=True)
+
+    v = verbs.add_parser(
+        "run", help="start a campaign over a scenario directory")
+    v.add_argument("directory")
+    v.add_argument("--journal", default="campaign.jsonl",
+                   help="write-ahead journal path (default: "
+                        "./campaign.jsonl)")
+    v.add_argument("--out", default=None,
+                   help="result store path (default: journal path with "
+                        "a .results.json suffix)")
+    v.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes")
+    v.add_argument("--watchdog", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="per-unit wall-clock watchdog timeout")
+    v.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="campaign wall-clock budget; remaining units "
+                        "are SKIPPED(deadline) once it expires")
+    v.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per unit for killed/hung workers")
+    v.add_argument("--resume", action="store_true",
+                   help="resume the journal if it already exists")
+    v.set_defaults(func=cmd_campaign, verb="run")
+
+    v = verbs.add_parser(
+        "resume", help="resume a killed or interrupted campaign")
+    v.add_argument("journal")
+    v.add_argument("--jobs", type=int, default=1)
+    v.add_argument("--out", default=None,
+                   help="result store path override")
+    v.set_defaults(func=cmd_campaign, verb="resume")
+
+    v = verbs.add_parser(
+        "status", help="inspect a campaign journal without running it")
+    v.add_argument("journal")
+    v.set_defaults(func=cmd_campaign, verb="status")
 
     return parser
 

@@ -74,3 +74,25 @@ class DisturbanceAbort(AttackError):
     collected before the event refers to a layout that no longer exists,
     so the attempt is discarded and retried rather than scored.
     """
+
+
+class CampaignError(ReproError):
+    """A campaign cannot start, resume, or record its state."""
+
+
+class JournalCorrupt(CampaignError):
+    """The write-ahead journal is damaged beyond a torn tail.
+
+    A partially-written final record is expected after a crash and is
+    silently truncated on replay; a record that fails its checksum (or
+    will not parse) *mid-file* means the journal was edited or the disk
+    lied, and resuming from it would silently drop completed work.
+    """
+
+    def __init__(self, message, line_number=None):
+        self.line_number = line_number
+        super().__init__(message)
+
+
+class WatchdogTimeout(CampaignError):
+    """A worker exceeded its per-unit wall-clock watchdog and was killed."""

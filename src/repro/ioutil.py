@@ -1,0 +1,76 @@
+"""Durable file I/O: atomic replace-on-write and fsync'd appends.
+
+Result stores, benchmark artifacts and the campaign journal all outlive
+the process that wrote them, so every writer here is crash-safe:
+
+* :func:`write_atomic` never leaves a half-written file at the target
+  path -- the data lands in a ``*.tmp`` sibling first, is fsync'd, and
+  only then renamed over the target (``os.replace`` is atomic on POSIX
+  and Windows within one filesystem);
+* :func:`append_durable` is the journal's append primitive: one
+  ``write`` + ``flush`` + ``fsync`` per record, so a record is either
+  fully on disk or (at worst) a torn tail the replay path can truncate.
+"""
+
+import json
+import os
+import tempfile
+
+
+def fsync_directory(path):
+    """Best-effort fsync of a directory (persists a rename/create)."""
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; the rename stands
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path, data, encoding="utf-8"):
+    """Atomically replace ``path`` with ``data`` (str or bytes)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    if isinstance(data, str):
+        data = data.encode(encoding)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+    return path
+
+
+def write_json_atomic(path, obj, indent=2, sort_keys=True):
+    """Atomically write ``obj`` as stable, diff-friendly JSON.
+
+    ``sort_keys`` + fixed indent make repeated writes of equal data
+    byte-identical -- the campaign determinism checks compare stores
+    with plain ``cmp``.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    return write_atomic(path, text)
+
+
+def append_durable(handle, data, encoding="utf-8"):
+    """Append ``data`` to an open binary handle and fsync it."""
+    if isinstance(data, str):
+        data = data.encode(encoding)
+    handle.write(data)
+    handle.flush()
+    os.fsync(handle.fileno())

@@ -55,6 +55,10 @@ class Machine:
         self.enclave = None
         #: disturbance runtime (:class:`repro.chaos.ChaosRuntime`) or None
         self.chaos = None
+        #: the boot seed the factory was called with (None for machines
+        #: assembled by hand); campaign journaling records it per unit
+        #: so a resumed run can rebuild the identical victim
+        self.seed = None
 
     def _attach_chaos(self, profile, chaos_rng):
         """Attach a disturbance runtime (no-op when ``profile`` is None)."""
@@ -111,6 +115,7 @@ class Machine:
         playground = cls._build_playground(process)
         machine = cls(cpu, kernel, core, machine_rng, "linux",
                       process=process, playground=playground)
+        machine.seed = seed
         return machine._attach_chaos(chaos, chaos_rng)
 
     @classmethod
@@ -131,6 +136,7 @@ class Machine:
         playground = cls._build_windows_playground(kernel)
         machine = cls(cpu, kernel, core, np.random.default_rng(seeds[2]),
                       "windows", playground=playground)
+        machine.seed = seed
         return machine._attach_chaos(chaos, np.random.default_rng(seeds[3]))
 
     @classmethod

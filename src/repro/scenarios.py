@@ -22,6 +22,8 @@ Schema::
 import json
 import os
 import pathlib
+import signal
+import time
 
 from repro.errors import ConfigError
 from repro.machine import Machine
@@ -176,6 +178,36 @@ def _run_supervised(machine, params):
     return observations
 
 
+@_attack("hang")
+def _run_hang(machine, params):
+    """Fault-injection fixture: a scenario that never finishes.
+
+    Exists so the watchdog path (``--timeout-per-scenario``, campaign
+    watchdogs) can be exercised deterministically; a real deployment
+    hits the same code through a livelocked attack.
+    """
+    time.sleep(params.get("seconds", 3600.0))
+    return {"hung": False}
+
+
+@_attack("kill-self")
+def _run_kill_self(machine, params):
+    """Fault-injection fixture: SIGKILL the worker running this scenario.
+
+    The deterministic stand-in for an OOM-killed worker.  With a
+    ``sentinel`` file path the process dies only while the sentinel
+    does not yet exist (it is created just before dying), so the first
+    attempt is lost and a retried attempt succeeds; without a sentinel
+    every attempt dies.
+    """
+    sentinel = params.get("sentinel")
+    if sentinel is None or not os.path.exists(sentinel):
+        if sentinel is not None:
+            pathlib.Path(sentinel).touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"correct": True, "survived_retry": True}
+
+
 @_attack("fingerprint")
 def _run_fingerprint(machine, params):
     from repro.attacks.fingerprint import ApplicationFingerprinter
@@ -192,16 +224,85 @@ def _run_fingerprint(machine, params):
     return {"correct": guess == app, "guess": guess, "truth": app}
 
 
+def _jsonable(value):
+    """Coerce observation values to plain JSON types (numpy scalars in
+    particular), so a result serializes identically before and after a
+    journal round trip."""
+    if isinstance(value, bool) or value is None \
+            or isinstance(value, (str, int, float)):
+        if isinstance(value, float) and not isinstance(value, bool):
+            return float(value)
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    return repr(value)
+
+
 class ScenarioResult:
     """Outcome of one scenario run."""
 
-    __slots__ = ("name", "passed", "observations", "violations")
+    __slots__ = ("name", "passed", "observations", "violations",
+                 "machine_seed", "chaos_digest", "degraded")
 
-    def __init__(self, name, passed, observations, violations):
+    def __init__(self, name, passed, observations, violations,
+                 machine_seed=None, chaos_digest=None, degraded=None):
         self.name = name
         self.passed = passed
         self.observations = observations
         self.violations = violations
+        #: boot seed of the victim machine (campaign journaling)
+        self.machine_seed = machine_seed
+        #: digest of the chaos schedule that fired during the run, or
+        #: None on chaos-free machines (campaign resume verification)
+        self.chaos_digest = chaos_digest
+        #: degradation reason (e.g. "deadline") or None
+        self.degraded = degraded
+
+    def degrade(self, reason):
+        """Downgrade this result instead of dropping it (deadline rule).
+
+        Mirrors the supervisor's verdict degradation: the confidence is
+        halved and a ``found`` status that falls below the reporting
+        bar becomes ``abstain``; the value and pass/fail stand.
+        """
+        from repro.attacks.supervisor import apply_degradation
+
+        self.degraded = reason
+        confidence = self.observations.get("confidence")
+        if isinstance(confidence, (int, float)) \
+                and not isinstance(confidence, bool):
+            status, confidence = apply_degradation(
+                self.observations.get("status"), confidence
+            )
+            self.observations["confidence"] = confidence
+            if self.observations.get("status") is not None:
+                self.observations["status"] = status
+        return self
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "passed": bool(self.passed),
+            "observations": _jsonable(self.observations),
+            "violations": [str(v) for v in self.violations],
+            "machine_seed": self.machine_seed,
+            "chaos_digest": self.chaos_digest,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["name"], data["passed"], data["observations"],
+            data["violations"], machine_seed=data.get("machine_seed"),
+            chaos_digest=data.get("chaos_digest"),
+            degraded=data.get("degraded"),
+        )
 
     def __repr__(self):
         return "ScenarioResult({!r}, {})".format(
@@ -280,7 +381,10 @@ def run_scenario(scenario):
         scenario.get("expect", {}), observations
     )
     return ScenarioResult(
-        scenario["name"], not violations, observations, violations
+        scenario["name"], not violations, observations, violations,
+        machine_seed=machine.seed,
+        chaos_digest=(machine.chaos.schedule_digest()
+                      if machine.chaos is not None else None),
     )
 
 
@@ -301,26 +405,49 @@ def _run_scenario_guarded(path):
         )
 
 
-def run_suite(directory, jobs=None):
+def run_suite(directory, jobs=None, timeout_per_scenario=None):
     """Run every ``*.json`` scenario in a directory, sorted by name.
 
-    ``jobs`` > 1 fans the scenarios out over a process pool (each
+    ``jobs`` > 1 fans the scenarios out over the supervised pool (each
     scenario boots its own machine, so they are fully independent);
     results come back in the same sorted-by-name order as the serial
-    path, and a worker crash is reported as a failed ScenarioResult
-    rather than aborting the suite.  Workers are capped at the
-    machine's core count -- oversubscribing a smaller box is pure
-    scheduling overhead.
+    path.  A scenario that *raises* becomes a failed ScenarioResult
+    (``_run_scenario_guarded``); a worker that is hard-killed mid-
+    scenario (OOM killer, operator SIGKILL) no longer aborts the suite
+    with ``BrokenProcessPool`` -- the pool is respawned, the lost
+    scenario is surfaced as a FAIL result, and the remaining scenarios
+    keep running.  ``timeout_per_scenario`` (seconds) arms a wall-clock
+    watchdog: a hung scenario is killed, reported FAIL, and never
+    stalls the rest of the suite.  Workers are capped at the machine's
+    core count -- oversubscribing a smaller box is pure scheduling
+    overhead.
     """
     directory = pathlib.Path(directory)
     paths = sorted(directory.glob("*.json"))
-    if jobs is not None:
-        jobs = min(jobs, os.cpu_count() or 1)
-    if jobs is None or jobs <= 1 or len(paths) <= 1:
+    parallel = jobs is not None and jobs > 1 and len(paths) > 1
+    if not parallel and timeout_per_scenario is None:
         return [_run_scenario_guarded(path) for path in paths]
 
-    import concurrent.futures
+    # the watchdog needs process isolation even at --jobs 1, and a
+    # --jobs N request keeps isolation on a small box too: only the
+    # worker count is capped at the core count, never the pool itself
+    from repro.campaign.pool import OK, SupervisedPool
 
-    workers = min(jobs, len(paths))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_scenario_guarded, paths))
+    workers = max(1, min(jobs or 1, len(paths), os.cpu_count() or 1))
+    pool = SupervisedPool(
+        jobs=workers, watchdog_s=timeout_per_scenario, max_retries=0
+    )
+    outcomes = pool.run(
+        [(path.stem, str(path)) for path in paths], _run_scenario_guarded
+    )
+    results = []
+    for path in paths:
+        outcome = outcomes[path.stem]
+        if outcome.status == OK:
+            results.append(outcome.value)
+        else:
+            results.append(ScenarioResult(
+                path.stem, False, {"error": outcome.detail},
+                ["scenario runner lost: {}".format(outcome.detail)],
+            ))
+    return results
