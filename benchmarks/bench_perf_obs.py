@@ -1,0 +1,114 @@
+"""Observability overhead: tracing must be free when it is off.
+
+Three measurements over the Figure-4 512-slot sweep (the probe engine's
+hottest shape), all best-of-N host-side wall clock:
+
+* **untraced** -- the default path: ``core.obs`` is the shared
+  ``NULL_TRACER``, every per-item guard evaluates ``False``.  Compared
+  against the batched baseline recorded by
+  ``bench_perf_probe_engine.py`` *before* the obs layer existed
+  (``BENCH_probe_engine.json``); the ratio must stay under 1.03.
+* **disabled tracer** -- a real ``Tracer(enabled=False)`` attached to
+  the machine.  This isolates the guard cost itself (same-run
+  comparison, immune to cross-session machine drift); also bounded at
+  1.03.
+* **traced** -- a fully recording tracer, informational only: the price
+  of turning forensics on.
+
+The numbers land in ``BENCH_obs.json`` at the repo root, next to the
+probe-engine baseline they are compared against.
+"""
+
+import json
+import pathlib
+import time
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.machine import Machine
+from repro.obs import Tracer
+from repro.os.linux import layout
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_obs.json"
+BASELINE_JSON = REPO_ROOT / "BENCH_probe_engine.json"
+
+#: rounds per slot, matching the probe-engine bench's Fig.-4 sweep
+SWEEP_ROUNDS = 16
+#: allowed slowdown of untraced / disabled-tracer runs
+OVERHEAD_BOUND = 1.03
+
+
+def _kernel_slot_vas():
+    return [
+        layout.kernel_base_of_slot(slot)
+        for slot in range(layout.KERNEL_TEXT_SLOTS)
+    ]
+
+
+def _sweep(tracer_mode):
+    machine = Machine.linux(seed=4)
+    if tracer_mode == "disabled":
+        Tracer(enabled=False).attach(machine)
+    elif tracer_mode == "traced":
+        Tracer().attach(machine)
+    machine.core.probe_sweep(_kernel_slot_vas(), rounds=SWEEP_ROUNDS,
+                             op="load")
+
+
+def _wall(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_obs_overhead():
+    recorded = None
+    if BASELINE_JSON.exists():
+        recorded = json.loads(BASELINE_JSON.read_text())["fig4_sweep"][
+            "batched_s"
+        ]
+
+    untraced = _wall(lambda: _sweep("null"))
+    disabled = _wall(lambda: _sweep("disabled"))
+    traced = _wall(lambda: _sweep("traced"))
+
+    result = {
+        "workload": "fig4 512-slot sweep, {} rounds".format(SWEEP_ROUNDS),
+        "baseline_recorded_s": recorded,
+        "untraced_s": round(untraced, 4),
+        "disabled_tracer_s": round(disabled, 4),
+        "traced_s": round(traced, 4),
+        "untraced_vs_recorded": (
+            round(untraced / recorded, 3) if recorded else None
+        ),
+        "disabled_vs_untraced": round(disabled / untraced, 3),
+        "traced_vs_untraced": round(traced / untraced, 3),
+        "overhead_bound": OVERHEAD_BOUND,
+    }
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+
+    assert disabled / untraced < OVERHEAD_BOUND, result
+    if recorded is not None:
+        assert untraced / recorded < OVERHEAD_BOUND, result
+
+    return format_table(
+        ["path", "seconds", "vs untraced"],
+        [
+            ["pre-obs recorded baseline",
+             recorded if recorded is not None else "n/a", ""],
+            ["untraced (NULL_TRACER)", result["untraced_s"], 1.0],
+            ["attached, enabled=False", result["disabled_tracer_s"],
+             result["disabled_vs_untraced"]],
+            ["fully traced", result["traced_s"],
+             result["traced_vs_untraced"]],
+        ],
+    )
+
+
+def test_perf_obs(benchmark, record_result):
+    record_result("perf_obs", once(benchmark, run_obs_overhead))

@@ -234,25 +234,30 @@ class AttackSupervisor:
         """
         core = self.core
         cpu = self.machine.cpu
-        calibration = calibrate_store_threshold(
-            self.machine, samples=samples, batched=self.batched
-        )
-        self.charge_probes(samples)
-        std_ceiling = max(6.0 * core.noise.sigma, core.timer_resolution, 12.0)
-        expected = cpu.store_base + cpu.tlb_hit_l1 + cpu.assist_dirty
-        lo = cpu.measurement_overhead + 0.4 * expected - core.timer_resolution
-        hi = cpu.measurement_overhead + 2.5 * expected
-        if calibration.std > std_ceiling:
-            raise CalibrationError(
-                "calibration spread {:.1f} exceeds ceiling {:.1f}".format(
-                    calibration.std, std_ceiling
+        with core.obs.span("calibrate", samples=samples) as span:
+            calibration = calibrate_store_threshold(
+                self.machine, samples=samples, batched=self.batched
+            )
+            self.charge_probes(samples)
+            std_ceiling = max(6.0 * core.noise.sigma,
+                              core.timer_resolution, 12.0)
+            expected = cpu.store_base + cpu.tlb_hit_l1 + cpu.assist_dirty
+            lo = (cpu.measurement_overhead + 0.4 * expected
+                  - core.timer_resolution)
+            hi = cpu.measurement_overhead + 2.5 * expected
+            span.set(mean=calibration.mean, std=calibration.std,
+                     threshold=calibration.threshold)
+            if calibration.std > std_ceiling:
+                raise CalibrationError(
+                    "calibration spread {:.1f} exceeds ceiling {:.1f}".format(
+                        calibration.std, std_ceiling
+                    )
                 )
-            )
-        if not lo <= calibration.mean <= hi:
-            raise CalibrationError(
-                "calibration mean {:.1f} outside plausible range "
-                "[{:.1f}, {:.1f}]".format(calibration.mean, lo, hi)
-            )
+            if not lo <= calibration.mean <= hi:
+                raise CalibrationError(
+                    "calibration mean {:.1f} outside plausible range "
+                    "[{:.1f}, {:.1f}]".format(calibration.mean, lo, hi)
+                )
         return calibration
 
     def check_drift(self, calibration, samples=24):
@@ -264,21 +269,23 @@ class AttackSupervisor:
         classification made against the stale threshold is suspect.
         """
         core = self.core
-        core.chaos_poll()
-        page = self.machine.playground.user_rw
-        values = [core.timed_masked_store(page) for _ in range(samples)]
-        self.charge_probes(samples)
-        median, __, __ = robust_stats(values)
-        slack = max(
-            4.0 * max(calibration.std, 1.0) + DRIFT_SLACK_CYCLES,
-            core.timer_resolution,
-        )
-        drift = abs(median - calibration.mean)
-        if drift > slack:
-            raise CalibrationError(
-                "store mode drifted {:.1f} cycles since calibration "
-                "(slack {:.1f})".format(drift, slack)
+        with core.obs.span("drift-check", samples=samples) as span:
+            core.chaos_poll()
+            page = self.machine.playground.user_rw
+            values = [core.timed_masked_store(page) for _ in range(samples)]
+            self.charge_probes(samples)
+            median, __, __ = robust_stats(values)
+            slack = max(
+                4.0 * max(calibration.std, 1.0) + DRIFT_SLACK_CYCLES,
+                core.timer_resolution,
             )
+            drift = abs(median - calibration.mean)
+            span.set(drift=drift, slack=slack)
+            if drift > slack:
+                raise CalibrationError(
+                    "store mode drifted {:.1f} cycles since calibration "
+                    "(slack {:.1f})".format(drift, slack)
+                )
 
     def _layout_generation(self):
         chaos = self.machine.chaos
@@ -319,6 +326,9 @@ class AttackSupervisor:
                 if abs(timing - threshold) > margin:
                     break
             corrected.append(timing)
+        obs = self.core.obs
+        if obs.enabled and reprobed:
+            obs.metrics.inc("supervisor.reprobes", reprobed)
         return corrected, reprobed
 
     # -- the supervision loop -------------------------------------------------
@@ -334,6 +344,7 @@ class AttackSupervisor:
                 )
             )
         chaos = self.machine.chaos
+        obs = self.core.obs
         self._start_cycles = self.core.clock.cycles
         self.probes_spent = 0
         start_mark = chaos.mark() if chaos is not None else 0
@@ -341,49 +352,67 @@ class AttackSupervisor:
         attempts = []
         value, result, confidence = None, None, 0.0
         status = FAILED
-        for attempt in range(self.max_retries + 1):
-            mark = chaos.mark() if chaos is not None else 0
-            generation = self._layout_generation()
-            value, result, confidence = None, None, 0.0
-            try:
-                self._check_time_budget()
-                value, result, confidence = runner(self, **kwargs)
-                self._check_layout_stable(generation)
-            except CalibrationError as exc:
-                attempts.append(self._record(
-                    attempt, "calibration-rejected", exc, chaos, mark
-                ))
-                self._backoff(attempt)
-                continue
-            except DisturbanceAbort as exc:
-                attempts.append(self._record(
-                    attempt, "rerandomized", exc, chaos, mark
-                ))
-                self._backoff(attempt)
-                continue
-            except ProbeBudgetExceeded as exc:
-                attempts.append(self._record(
-                    attempt, "budget-exceeded", exc, chaos, mark
-                ))
-                break
-            except AttackError as exc:
-                attempts.append(self._record(
-                    attempt, "error", exc, chaos, mark
-                ))
-                break
-            attempts.append(self._record(attempt, "ok", "", chaos, mark))
-            if value is not None and confidence >= FOUND_CONFIDENCE:
-                status = FOUND
-            else:
-                status = ABSTAIN
-            break
+        with obs.span("supervised-attack", attack=attack):
+            for attempt in range(self.max_retries + 1):
+                mark = chaos.mark() if chaos is not None else 0
+                generation = self._layout_generation()
+                value, result, confidence = None, None, 0.0
+                with obs.span("attempt", index=attempt) as attempt_span:
+                    try:
+                        self._check_time_budget()
+                        value, result, confidence = runner(self, **kwargs)
+                        self._check_layout_stable(generation)
+                    except CalibrationError as exc:
+                        attempts.append(self._record(
+                            attempt, "calibration-rejected", exc, chaos, mark
+                        ))
+                        attempt_span.set(outcome="calibration-rejected")
+                        obs.event("retry", attempt=attempt,
+                                  outcome="calibration-rejected",
+                                  detail=str(exc))
+                        if obs.enabled:
+                            obs.metrics.inc("supervisor.retries")
+                        self._backoff(attempt)
+                        continue
+                    except DisturbanceAbort as exc:
+                        attempts.append(self._record(
+                            attempt, "rerandomized", exc, chaos, mark
+                        ))
+                        attempt_span.set(outcome="rerandomized")
+                        obs.event("retry", attempt=attempt,
+                                  outcome="rerandomized", detail=str(exc))
+                        if obs.enabled:
+                            obs.metrics.inc("supervisor.retries")
+                        self._backoff(attempt)
+                        continue
+                    except ProbeBudgetExceeded as exc:
+                        attempts.append(self._record(
+                            attempt, "budget-exceeded", exc, chaos, mark
+                        ))
+                        attempt_span.set(outcome="budget-exceeded")
+                        break
+                    except AttackError as exc:
+                        attempts.append(self._record(
+                            attempt, "error", exc, chaos, mark
+                        ))
+                        attempt_span.set(outcome="error")
+                        break
+                    attempts.append(self._record(
+                        attempt, "ok", "", chaos, mark
+                    ))
+                    attempt_span.set(outcome="ok")
+                    if value is not None and confidence >= FOUND_CONFIDENCE:
+                        status = FOUND
+                    else:
+                        status = ABSTAIN
+                    break
 
         retries = max(0, len(attempts) - 1)
         disturbances = (
             [e.as_dict() for e in chaos.events_since(start_mark)]
             if chaos is not None else []
         )
-        return Verdict(
+        verdict = Verdict(
             attack=attack,
             status=status,
             value=value,
@@ -395,6 +424,17 @@ class AttackSupervisor:
             probes_spent=self.probes_spent,
             elapsed_ms=self._elapsed_ms(),
         )
+        if obs.enabled:
+            obs.event(
+                "verdict", attack=attack, status=verdict.status,
+                value=(hex(value)
+                       if isinstance(value, int)
+                       and not isinstance(value, bool) else value),
+                confidence=round(verdict.confidence, 4),
+                retries=verdict.retries,
+                probes_spent=verdict.probes_spent,
+            )
+        return verdict
 
     def _record(self, index, outcome, detail, chaos, mark):
         count = len(chaos.events_since(mark)) if chaos is not None else 0
@@ -455,40 +495,56 @@ def supervised_scan(sup, vas, rounds, calibration, take_min=False,
     Returns ``(timings, thresholds)`` (both per-VA lists).
     """
     core = sup.core
+    obs = core.obs
     offset = calibration.threshold - calibration.mean
     slack = _canary_slack(sup, calibration)
     timings = []
     thresholds = []
     pre = _canary(sup)
-    for start in range(0, len(vas), chunk_size):
-        chunk = vas[start : start + chunk_size]
-        for attempt in range(max_chunk_retries + 1):
-            sup.charge_probes(len(chunk) * rounds)
-            if sup.batched:
-                chunk_t = list(core.probe_sweep(
-                    chunk, rounds=rounds, op="load",
-                    reduce="min" if take_min else "mean",
-                ))
-            else:
-                chunk_t = [
-                    double_probe_load(core, va, rounds, take_min=take_min)
-                    for va in chunk
-                ]
-            post = _canary(sup)
-            if abs(post - pre) <= slack:
-                break
-            # the regime moved during this chunk: its timings mix two
-            # regimes; settle on the new one and probe it again
-            pre = post
-        else:
-            raise CalibrationError(
-                "store mode kept moving during the scan "
-                "(chunk at index {})".format(start)
-            )
-        anchor = (pre + post) / 2.0
-        timings.extend(chunk_t)
-        thresholds.extend([anchor + offset] * len(chunk))
-        pre = post
+    with obs.span("scan", vas=len(vas), rounds=rounds,
+                  chunk_size=chunk_size):
+        for start in range(0, len(vas), chunk_size):
+            chunk = vas[start : start + chunk_size]
+            index = start // chunk_size
+            with obs.span("chunk", index=index, size=len(chunk)) as span:
+                for attempt in range(max_chunk_retries + 1):
+                    sup.charge_probes(len(chunk) * rounds)
+                    if sup.batched:
+                        chunk_t = list(core.probe_sweep(
+                            chunk, rounds=rounds, op="load",
+                            reduce="min" if take_min else "mean",
+                        ))
+                    else:
+                        chunk_t = [
+                            double_probe_load(
+                                core, va, rounds, take_min=take_min
+                            )
+                            for va in chunk
+                        ]
+                    post = _canary(sup)
+                    if abs(post - pre) <= slack:
+                        break
+                    # the regime moved during this chunk: its timings mix
+                    # two regimes; settle on the new one and probe again
+                    obs.event("chunk-regime-shift", chunk=index,
+                              attempt=attempt, pre=pre, post=post)
+                    if obs.enabled:
+                        obs.metrics.inc("supervisor.chunk_retries")
+                    pre = post
+                else:
+                    raise CalibrationError(
+                        "store mode kept moving during the scan "
+                        "(chunk at index {})".format(start)
+                    )
+                anchor = (pre + post) / 2.0
+                span.set(attempts=attempt + 1)
+                obs.event("threshold-reanchor", chunk=index, anchor=anchor,
+                          threshold=anchor + offset)
+                if obs.enabled:
+                    obs.metrics.inc("supervisor.chunks")
+                timings.extend(chunk_t)
+                thresholds.extend([anchor + offset] * len(chunk))
+                pre = post
     return timings, thresholds
 
 
@@ -578,36 +634,42 @@ def _run_kaslr(sup, rounds=None, variant=None):
     # punches unmapped-looking holes into (or truncates the edges of)
     # the true mapped run.  Re-probe suspects per-op with escalated
     # rounds + min-filter against a freshly anchored threshold.
-    offset = calibration.threshold - calibration.mean
-    thr_now = _canary(sup) + offset
+    obs = core.obs
+    with obs.span("repair"):
+        offset = calibration.threshold - calibration.mean
+        thr_now = _canary(sup) + offset
 
-    def reprobe(slot):
-        sup.charge_probes(rounds * 2)
-        timing = double_probe_load(
-            core, vas[slot], rounds * 2, take_min=True
-        )
-        timings[slot] = timing
-        return timing <= thr_now
+        def reprobe(slot, why):
+            sup.charge_probes(rounds * 2)
+            timing = double_probe_load(
+                core, vas[slot], rounds * 2, take_min=True
+            )
+            timings[slot] = timing
+            if obs.enabled:
+                obs.metrics.inc("supervisor.reprobes")
+                obs.event("reprobe", slot=slot, why=why, timing=timing,
+                          threshold=thr_now)
+            return timing <= thr_now
 
-    for slot in range(1, layout.KERNEL_TEXT_SLOTS - 1):
-        if not mapped_bits[slot] and mapped_bits[slot - 1] \
-                and mapped_bits[slot + 1]:
-            mapped_bits[slot] = reprobe(slot)
-    # ambiguity: anything within the margin of its decision threshold
-    for slot, (t, thr) in enumerate(zip(timings, thresholds)):
-        if abs(t - thr) <= AMBIGUITY_MARGIN_CYCLES:
-            mapped_bits[slot] = reprobe(slot)
+        for slot in range(1, layout.KERNEL_TEXT_SLOTS - 1):
+            if not mapped_bits[slot] and mapped_bits[slot - 1] \
+                    and mapped_bits[slot + 1]:
+                mapped_bits[slot] = reprobe(slot, "hole")
+        # ambiguity: anything within the margin of its decision threshold
+        for slot, (t, thr) in enumerate(zip(timings, thresholds)):
+            if abs(t - thr) <= AMBIGUITY_MARGIN_CYCLES:
+                mapped_bits[slot] = reprobe(slot, "ambiguous")
 
-    mapped = [s for s, bit in enumerate(mapped_bits) if bit]
-    # edge repair: extend the leading run downward while the slot just
-    # before it re-probes mapped (a spike on the true first slot would
-    # otherwise shift the recovered base)
-    extensions = 0
-    while mapped and mapped[0] > 0 and extensions < 4:
-        if not reprobe(mapped[0] - 1):
-            break
-        mapped.insert(0, mapped[0] - 1)
-        extensions += 1
+        mapped = [s for s, bit in enumerate(mapped_bits) if bit]
+        # edge repair: extend the leading run downward while the slot
+        # just before it re-probes mapped (a spike on the true first slot
+        # would otherwise shift the recovered base)
+        extensions = 0
+        while mapped and mapped[0] > 0 and extensions < 4:
+            if not reprobe(mapped[0] - 1, "edge"):
+                break
+            mapped.insert(0, mapped[0] - 1)
+            extensions += 1
 
     base, slot = None, None
     if mapped:

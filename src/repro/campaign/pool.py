@@ -51,7 +51,14 @@ STALE_AFTER_S = 5.0
 
 
 class PoolOutcome:
-    """Terminal state of one unit."""
+    """Terminal state of one unit.
+
+    ``status`` is one of :data:`OK` / :data:`FAILED` / :data:`SKIPPED`;
+    ``value`` is the worker's return value (OK only); ``detail`` is a
+    deterministic human-readable reason for failures and skips;
+    ``attempts`` counts launches actually charged against the retry
+    budget (free requeues of never-started units are not charged).
+    """
 
     __slots__ = ("unit", "status", "value", "detail", "attempts", "late")
 
@@ -118,7 +125,16 @@ def _pool_task(worker, unit_id, payload, beat_dir, heartbeat_s):
 
 
 class SupervisedPool:
-    """Run units through a self-healing process pool."""
+    """Run units through a self-healing process pool.
+
+    ``jobs`` caps concurrent workers; ``watchdog_s`` (None disables) is
+    the per-unit wall-clock kill limit; ``heartbeat_s`` is the worker
+    beat interval and ``stale_after_s`` (default ``10 * heartbeat_s``,
+    floored at :data:`STALE_AFTER_S`) the silence that counts as frozen;
+    ``max_retries`` bounds charged re-launches per unit, spaced by
+    ``backoff_base_s * 2**(attempt-1)``; ``tick_s`` is the supervision
+    loop's poll interval (latency/CPU trade-off, no effect on results).
+    """
 
     def __init__(self, jobs=1, watchdog_s=None, heartbeat_s=0.25,
                  stale_after_s=None, max_retries=0, backoff_base_s=0.05,

@@ -35,6 +35,8 @@ from repro.campaign.journal import CampaignJournal, fold_records
 from repro.campaign.pool import OK, SupervisedPool
 from repro.errors import CampaignError
 from repro.ioutil import write_json_atomic
+from repro.obs.metrics import FSYNC_US_BUCKETS
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.scenarios import ScenarioResult, _run_scenario_guarded
 
 #: schema tag of the atomically-written result store
@@ -99,20 +101,35 @@ class CampaignReport:
 
     @property
     def summary(self):
+        """The store's count block: passed / failed / skipped / degraded."""
         return self.store["summary"]
 
     @property
     def ok(self):
+        """True when every unit passed (nothing failed, nothing skipped)."""
         summary = self.summary
         return summary["failed"] == 0 and summary["skipped"] == 0
 
 
 class CampaignRunner:
-    """Drive one campaign journal to completion."""
+    """Drive one campaign journal to completion.
+
+    ``journal_path`` names the write-ahead journal (created fresh, or
+    replayed when resuming); ``directory`` is the scenario directory a
+    *new* campaign plans its units from (a resumed campaign takes the
+    unit set from its campaign-start record instead).  ``watchdog_s`` /
+    ``deadline_s`` / ``max_retries`` parameterize the supervised pool;
+    on resume the journaled values win, except ``deadline_s`` which a
+    caller may tighten per invocation.  ``store_path`` defaults to the
+    journal path with a ``.results.json`` suffix; ``trace_path``
+    (optional) records a campaign trace -- see the note on ``obs``
+    below.
+    """
 
     def __init__(self, journal_path, directory=None, jobs=1,
                  watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
-                 max_retries=DEFAULT_MAX_RETRIES, store_path=None):
+                 max_retries=DEFAULT_MAX_RETRIES, store_path=None,
+                 trace_path=None):
         self.journal = CampaignJournal(journal_path)
         self.directory = directory
         self.jobs = max(1, jobs)
@@ -124,6 +141,13 @@ class CampaignRunner:
                 ".results.json"
             )
         self.store_path = pathlib.Path(store_path)
+        # the campaign tracer has no simulated clock (units run in worker
+        # processes with their own clocks), so its timestamps are null and
+        # its fsync-latency metric carries "wall" in its name -- the
+        # determinism helpers strip it
+        self.obs = NULL_TRACER if trace_path is None else Tracer(
+            path=trace_path, meta={"command": "campaign"},
+        )
 
     # -- entry points ----------------------------------------------------------
 
@@ -194,33 +218,37 @@ class CampaignRunner:
                 "max_retries": self.max_retries,
                 "units": plan_units(self.directory),
             }
-            self.journal.append(wal.CAMPAIGN_START, **config)
+            self._journal_append(wal.CAMPAIGN_START, **config)
 
         pending = [
             unit for unit in config["units"]
             if folded.get(unit["id"], {}).get("status")
             not in ("done", "skipped")
         ]
+        if self.obs.enabled:
+            self.obs.meta.setdefault("directory", config["directory"])
         start = time.monotonic()
         deadline = None
         if self.deadline_s is not None:
             deadline = start + self.deadline_s
-        if pending:
-            pool = SupervisedPool(
-                jobs=self.jobs, watchdog_s=self.watchdog_s,
-                max_retries=self.max_retries,
-            )
-            pool.run(
-                [(unit["id"], unit["path"]) for unit in pending],
-                _run_unit,
-                deadline=deadline,
-                on_start=self._on_start,
-                on_retry=self._on_retry,
-                on_skip=self._on_skip,
-                on_finish=self._on_finish,
-            )
-        if not meta["finished"]:
-            self.journal.append(wal.CAMPAIGN_FINISH)
+        with self.obs.span("campaign", units=len(config["units"]),
+                           pending=len(pending), jobs=self.jobs):
+            if pending:
+                pool = SupervisedPool(
+                    jobs=self.jobs, watchdog_s=self.watchdog_s,
+                    max_retries=self.max_retries,
+                )
+                pool.run(
+                    [(unit["id"], unit["path"]) for unit in pending],
+                    _run_unit,
+                    deadline=deadline,
+                    on_start=self._on_start,
+                    on_retry=self._on_retry,
+                    on_skip=self._on_skip,
+                    on_finish=self._on_finish,
+                )
+            if not meta["finished"]:
+                self._journal_append(wal.CAMPAIGN_FINISH)
         wall_elapsed = time.monotonic() - start
 
         # Rebuild the final state purely from the journal: the clean
@@ -230,6 +258,8 @@ class CampaignRunner:
         meta, folded = fold_records(records)
         store = self._build_store(meta["config"], folded, wall_elapsed)
         write_json_atomic(self.store_path, store)
+        if self.obs.enabled:
+            self.obs.finish(wall_ms=wall_elapsed * 1000.0)
         return CampaignReport(store, self.store_path)
 
     def _verify_unit_digests(self, units):
@@ -248,18 +278,45 @@ class CampaignRunner:
                     .format(path)
                 )
 
+    def _journal_append(self, kind, **fields):
+        """Journal one record, timing the durable append when traced.
+
+        The fsync latency is inherently wall-clock, so the histogram name
+        carries ``wall`` -- :func:`repro.obs.schema.strip_wall_fields`
+        drops it before determinism comparisons.
+        """
+        if not self.obs.enabled:
+            self.journal.append(kind, **fields)
+            return
+        started = time.perf_counter()
+        self.journal.append(kind, **fields)
+        self.obs.metrics.observe(
+            "campaign.journal_fsync_wall_us",
+            (time.perf_counter() - started) * 1e6,
+            buckets=FSYNC_US_BUCKETS,
+        )
+        self.obs.metrics.inc("campaign.journal_appends")
+
     # -- pool callbacks (each journals before state advances) ------------------
 
     def _on_start(self, unit_id, attempt):
-        self.journal.append(wal.UNIT_START, unit=unit_id,
-                            attempt=attempt - 1)
+        self.obs.event("unit-start", unit=unit_id, attempt=attempt - 1)
+        self._journal_append(wal.UNIT_START, unit=unit_id,
+                             attempt=attempt - 1)
 
     def _on_retry(self, unit_id, attempt, reason):
-        self.journal.append(wal.UNIT_RETRY, unit=unit_id,
-                            attempt=attempt - 1, reason=reason)
+        self.obs.event("retry", unit=unit_id, attempt=attempt - 1,
+                       reason=reason)
+        if self.obs.enabled:
+            self.obs.metrics.inc("campaign.unit_retries")
+        self._journal_append(wal.UNIT_RETRY, unit=unit_id,
+                             attempt=attempt - 1, reason=reason)
 
     def _on_skip(self, unit_id, reason):
-        self.journal.append(wal.UNIT_SKIP, unit=unit_id, reason=reason)
+        self.obs.event("unit-skip", unit=unit_id, reason=reason)
+        if self.obs.enabled:
+            self.obs.metrics.inc("campaign.units_skipped")
+        self._journal_append(wal.UNIT_SKIP, unit=unit_id, reason=reason)
 
     def _on_finish(self, unit_id, outcome):
         if outcome.status == OK:
@@ -267,18 +324,33 @@ class CampaignRunner:
             if outcome.late:
                 result = ScenarioResult.from_dict(result) \
                     .degrade("deadline").as_dict()
+                self.obs.event("degradation", unit=unit_id,
+                               reason="deadline")
+                if self.obs.enabled:
+                    self.obs.metrics.inc("campaign.units_degraded")
         else:
             result = ScenarioResult(
                 unit_id, False, {"error": outcome.detail},
                 ["unit lost: {}".format(outcome.detail)],
             ).as_dict()
-        self.journal.append(wal.UNIT_FINISH, unit=unit_id,
-                            attempt=outcome.attempts - 1, result=result)
+        self.obs.event("unit-finish", unit=unit_id,
+                       attempt=outcome.attempts - 1,
+                       passed=bool(result.get("passed")))
+        if self.obs.enabled:
+            self.obs.metrics.inc("campaign.units_finished")
+        self._journal_append(wal.UNIT_FINISH, unit=unit_id,
+                             attempt=outcome.attempts - 1, result=result)
 
     # -- the result store ------------------------------------------------------
 
     @staticmethod
     def _build_store(config, folded, wall_elapsed_s):
+        """Serialize journal-folded state into the versioned result store.
+
+        Both the clean and the resumed path call this on a fresh replay
+        of the journal, so the stores they write are byte-comparable
+        apart from the two wall-clock stamps at the bottom.
+        """
         units_out = []
         counts = {"passed": 0, "failed": 0, "skipped": 0, "degraded": 0}
         for unit in config["units"]:

@@ -63,6 +63,8 @@ class ChaosProfile:
 
     @property
     def active_kinds(self):
+        """The enabled event kinds, in :data:`~repro.chaos.events.EVENT_KINDS`
+        order (the order the runtime schedules and tie-breaks them in)."""
         return tuple(
             kind for kind in events.EVENT_KINDS
             if self.periods.get(kind) is not None

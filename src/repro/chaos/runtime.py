@@ -133,6 +133,11 @@ class ChaosRuntime:
                 kind, at_cycles=deadline,
                 applied_at_cycles=applied_at, params=params,
             ))
+            obs = self.core.obs
+            if obs.enabled:
+                obs.event("chaos", kind=kind, at=deadline,
+                          applied_at=applied_at, params=params)
+                obs.metrics.inc("chaos.events." + kind)
             self._arrivals[kind] = clock.cycles + self._draw_gap(kind)
 
     # -- effects --------------------------------------------------------------
@@ -218,9 +223,12 @@ class ChaosRuntime:
         return len(self.log)
 
     def events_since(self, mark):
+        """Events fired since :meth:`mark` (the supervisor's per-attempt
+        slice: did anything disturb *this* attempt?)."""
         return self.log[mark:]
 
     def log_as_dicts(self):
+        """The full disturbance log as plain dicts (JSON-ready)."""
         return [event.as_dict() for event in self.log]
 
     def schedule_digest(self):

@@ -21,6 +21,7 @@ system without writing code:
 import argparse
 import json
 import sys
+import time
 
 from repro.cpu.models import CPU_CATALOG, get_cpu_model
 from repro.errors import ReproError
@@ -32,6 +33,31 @@ def _add_common(parser, default_cpu="i5-12400F"):
                         help="CPU catalog key (see `cpus`)")
     parser.add_argument("--seed", type=int, default=0,
                         help="boot seed (layout + noise)")
+
+
+def _add_trace(parser):
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a repro-trace/v1 JSONL trace of the "
+                             "run to PATH (inspect with `repro trace`)")
+
+
+def _maybe_tracer(args, machine, command):
+    """Build and attach a tracer when ``--trace PATH`` was given."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return None, None
+    from repro.obs import Tracer
+
+    tracer = Tracer(path=trace_path, meta={"command": command})
+    tracer.attach(machine)
+    return tracer, time.perf_counter()
+
+
+def _finish_tracer(tracer, started):
+    if tracer is None:
+        return
+    tracer.finish(wall_ms=(time.perf_counter() - started) * 1000.0)
+    print("trace      : {}".format(tracer.path))
 
 
 def _add_per_op(parser):
@@ -102,14 +128,18 @@ def cmd_kaslr(args):
 
         machine = Machine.linux(cpu=args.cpu, seed=args.seed,
                                 chaos=args.chaos_profile)
+        tracer, started = _maybe_tracer(args, machine, "kaslr")
         verdict = supervise(machine, "kaslr", max_retries=args.max_retries,
                             batched=not args.per_op, rounds=args.rounds)
+        _finish_tracer(tracer, started)
         _print_verdict(verdict, truth=machine.kernel.base)
         return 0 if verdict.value == machine.kernel.base else 1
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    tracer, started = _maybe_tracer(args, machine, "kaslr")
     result = break_kaslr(machine, rounds=args.rounds,
                          batched=not args.per_op)
+    _finish_tracer(tracer, started)
     ok = result.base == machine.kernel.base
     print("method   : {}".format(result.method))
     print("base     : {}".format(hex(result.base) if result.base else None))
@@ -128,9 +158,11 @@ def cmd_modules(args):
 
         machine = Machine.linux(cpu=args.cpu, seed=args.seed,
                                 chaos=args.chaos_profile)
+        tracer, started = _maybe_tracer(args, machine, "modules")
         verdict = supervise(machine, "modules",
                             max_retries=args.max_retries,
                             batched=not args.per_op)
+        _finish_tracer(tracer, started)
         _print_verdict(verdict)
         truth = machine.kernel.module_map
         wrong = [
@@ -142,7 +174,9 @@ def cmd_modules(args):
         return 0 if verdict.found and not wrong else 1
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed)
+    tracer, started = _maybe_tracer(args, machine, "modules")
     result = detect_modules(machine, batched=not args.per_op)
+    _finish_tracer(tracer, started)
     print("regions    : {}".format(len(result.regions)))
     print("identified : {}".format(len(result.identified)))
     print("accuracy   : {:.2%}".format(
@@ -161,13 +195,17 @@ def cmd_kpti(args):
 
         machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True,
                                 chaos=args.chaos_profile)
+        tracer, started = _maybe_tracer(args, machine, "kpti")
         verdict = supervise(machine, "kpti", max_retries=args.max_retries,
                             batched=not args.per_op)
+        _finish_tracer(tracer, started)
         _print_verdict(verdict, truth=machine.kernel.base)
         return 0 if verdict.value == machine.kernel.base else 1
 
     machine = Machine.linux(cpu=args.cpu, seed=args.seed, kpti=True)
+    tracer, started = _maybe_tracer(args, machine, "kpti")
     result = break_kaslr_kpti(machine, batched=not args.per_op)
+    _finish_tracer(tracer, started)
     ok = result.base == machine.kernel.base
     print("trampoline offset : {:#x}".format(
         machine.kernel.trampoline_offset))
@@ -280,9 +318,11 @@ def cmd_chaos(args):
                                 kpti=(args.attack == "kpti"),
                                 chaos=args.profile)
 
+    tracer, started = _maybe_tracer(args, machine, "chaos " + args.attack)
     verdict = supervise(machine, args.attack, max_retries=args.max_retries,
                         probe_budget=args.probe_budget,
                         batched=not args.per_op)
+    _finish_tracer(tracer, started)
     if args.out:
         from repro.ioutil import write_json_atomic
 
@@ -395,8 +435,33 @@ def cmd_campaign(args):
         args.journal, directory=args.directory, jobs=args.jobs,
         watchdog_s=args.watchdog, deadline_s=args.deadline,
         max_retries=args.max_retries, store_path=args.out,
+        trace_path=args.trace,
     )
     return _print_campaign_report(runner.run(resume=args.resume))
+
+
+def cmd_trace(args):
+    """The `repro trace` verbs: summarize / report / validate."""
+    from repro import obs
+
+    if args.verb == "validate":
+        stats = obs.validate_trace_file(args.path)
+        print("OK: {spans} spans, {events} events, {counters} counters, "
+              "{histograms} histograms".format(**stats))
+        return 0
+    summary = obs.summarize_file(args.path)
+    if args.verb == "summarize":
+        print(obs.render_summary(summary))
+        return 0
+    report = obs.render_report(summary)
+    if args.out:
+        from repro.ioutil import write_atomic
+
+        write_atomic(args.out, report)
+        print("report written to {}".format(args.out))
+    else:
+        print(report)
+    return 0
 
 
 def cmd_poc(args):
@@ -435,6 +500,7 @@ def build_parser():
     _add_common(p)
     _add_per_op(p)
     _add_chaos(p)
+    _add_trace(p)
     p.add_argument("--rounds", type=int, default=None)
     p.set_defaults(func=cmd_kaslr)
 
@@ -442,12 +508,14 @@ def build_parser():
     _add_common(p)
     _add_per_op(p)
     _add_chaos(p)
+    _add_trace(p)
     p.set_defaults(func=cmd_modules)
 
     p = subparsers.add_parser("kpti", help="break KASLR despite KPTI")
     _add_common(p)
     _add_per_op(p)
     _add_chaos(p)
+    _add_trace(p)
     p.set_defaults(func=cmd_kpti)
 
     p = subparsers.add_parser("spy", help="fingerprint an application")
@@ -504,6 +572,7 @@ def build_parser():
                    help="also write the verdict JSON to this path "
                         "(atomic replace-on-write)")
     _add_per_op(p)
+    _add_trace(p)
     p.set_defaults(func=cmd_chaos)
 
     p = subparsers.add_parser("scenario", help="run one JSON scenario")
@@ -551,6 +620,7 @@ def build_parser():
                    help="retry budget per unit for killed/hung workers")
     v.add_argument("--resume", action="store_true",
                    help="resume the journal if it already exists")
+    _add_trace(v)
     v.set_defaults(func=cmd_campaign, verb="run")
 
     v = verbs.add_parser(
@@ -565,6 +635,28 @@ def build_parser():
         "status", help="inspect a campaign journal without running it")
     v.add_argument("journal")
     v.set_defaults(func=cmd_campaign, verb="status")
+
+    p = subparsers.add_parser(
+        "trace", help="inspect repro-trace/v1 JSONL traces")
+    verbs = p.add_subparsers(dest="verb", required=True)
+
+    v = verbs.add_parser(
+        "summarize", help="one-screen digest of a trace")
+    v.add_argument("path")
+    v.set_defaults(func=cmd_trace, verb="summarize")
+
+    v = verbs.add_parser(
+        "report", help="full markdown forensics report")
+    v.add_argument("path")
+    v.add_argument("--out", default=None,
+                   help="write the markdown here instead of stdout "
+                        "(atomic replace-on-write)")
+    v.set_defaults(func=cmd_trace, verb="report")
+
+    v = verbs.add_parser(
+        "validate", help="check a trace against the schema")
+    v.add_argument("path")
+    v.set_defaults(func=cmd_trace, verb="validate")
 
     return parser
 

@@ -20,6 +20,7 @@ from repro.errors import ConfigError
 from repro.mmu.psc import PagingLineCache, PagingStructureCache
 from repro.mmu.tlb import TwoLevelTLB
 from repro.mmu.walker import PageTableWalker, WalkTiming
+from repro.obs.trace import NULL_TRACER
 
 #: cycles charged for one full software eviction of the translation caches
 EVICTION_COST_CYCLES = 4200
@@ -85,6 +86,10 @@ class Core:
         #: one-shot extra cycles an interrupt/SMI storm adds to the next
         #: timed measurement (consumed by _observe / the batched engine)
         self.pending_spike_cycles = 0
+        #: observability sink (:mod:`repro.obs`); the null tracer unless a
+        #: Tracer.attach() rebinds it, so hot paths can guard on
+        #: ``self.obs.enabled`` without a None check
+        self.obs = NULL_TRACER
 
     def chaos_poll(self):
         """Fire any due disturbances (no-op on lab-quiet machines).

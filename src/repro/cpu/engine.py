@@ -34,6 +34,25 @@ validate recovered bases / module lists / regions between both paths.
 
 import numpy as np
 
+from repro.mmu.address import PAGE_SIZE, PAGE_SIZE_1G, PAGE_SIZE_2M
+
+_PAGE_SUFFIX = {PAGE_SIZE: "4k", PAGE_SIZE_2M: "2m", PAGE_SIZE_1G: "1g"}
+
+
+def _page_class(translation):
+    """Histogram label for one probed VA: mapping kind + page size.
+
+    The per-page-class split is what makes the forensics report useful:
+    a misclassification shows up as probe cycles landing in the wrong
+    class's distribution.
+    """
+    if translation is None:
+        return "unmapped"
+    kind = "user" if translation.flags.user else "kernel"
+    return "{}-{}".format(
+        kind, _PAGE_SUFFIX.get(translation.page_size, "other")
+    )
+
 
 def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
     """Measure every address in ``vas`` with ``rounds`` probes each.
@@ -62,80 +81,93 @@ def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
     if n == 0:
         return np.empty((0,) if reduce else (0, rounds), dtype=np.float64)
 
-    execute = core.masked_load if op == "load" else core.masked_store
-    cpu = core.cpu
-    ops_per_va = 2 * rounds if warm else rounds
-    # per-measurement RDTSC + loop overhead, charged per VA inside the
-    # loop (not at sweep end) so the mid-sweep clock agrees with the
-    # per-op path at every chaos poll boundary
-    per_va_overhead = rounds * (cpu.measurement_overhead + cpu.loop_overhead)
+    obs = core.obs
+    if obs.enabled:
+        obs.metrics.inc("engine.sweeps")
+        obs.metrics.inc("engine.probes", n * rounds)
+    with obs.span("probe-sweep", vas=n, rounds=rounds, op=op, warm=warm):
+        execute = core.masked_load if op == "load" else core.masked_store
+        cpu = core.cpu
+        ops_per_va = 2 * rounds if warm else rounds
+        # per-measurement RDTSC + loop overhead, charged per VA inside the
+        # loop (not at sweep end) so the mid-sweep clock agrees with the
+        # per-op path at every chaos poll boundary
+        per_va_overhead = rounds * (cpu.measurement_overhead
+                                    + cpu.loop_overhead)
 
-    chaos = core.chaos if (core.chaos is not None and core.chaos.active) \
-        else None
-    if chaos is not None:
-        # disturbances can change sigma / timer resolution / pending
-        # spikes mid-sweep, so noise and coarsening become per-row state
-        # captured at each VA's poll boundary
-        noise = np.empty((n, rounds), dtype=np.int64)
-        spike_col = np.zeros(n, dtype=np.int64)
-        resolution = np.ones(n, dtype=np.int64)
-
-    first = np.empty(n, dtype=np.int64)
-    steady = np.empty(n, dtype=np.int64)
-    for i, va in enumerate(vas):
+        chaos = core.chaos if (core.chaos is not None and core.chaos.active) \
+            else None
         if chaos is not None:
-            core.chaos_poll()
-            spike_col[i] = core.pending_spike_cycles
-            core.pending_spike_cycles = 0
-            resolution[i] = core.timer_resolution
-            noise[i] = core.noise.sample_array(
-                core.rng, (rounds,)
-            ).astype(np.int64)
-        page_table = core.address_space.page_table
-        translation = page_table.lookup(va).translation
-        hint = translation.page_size if translation is not None else None
+            # disturbances can change sigma / timer resolution / pending
+            # spikes mid-sweep, so noise and coarsening become per-row state
+            # captured at each VA's poll boundary
+            noise = np.empty((n, rounds), dtype=np.int64)
+            spike_col = np.zeros(n, dtype=np.int64)
+            resolution = np.ones(n, dtype=np.int64)
 
-        result = execute(va, page_size_hint=hint)
-        first[i] = result.cycles
-        if ops_per_va == 1:
-            steady[i] = result.cycles
-        else:
-            skipped = ops_per_va - 2
-            if not skipped:
-                steady[i] = execute(va, page_size_hint=hint).cycles
-            else:
-                snap = core.perf.snapshot()
-                walks_before = core.walker.completed_walks
-                result = execute(va, page_size_hint=hint)
+        first = np.empty(n, dtype=np.int64)
+        steady = np.empty(n, dtype=np.int64)
+        for i, va in enumerate(vas):
+            if chaos is not None:
+                core.chaos_poll()
+                spike_col[i] = core.pending_spike_cycles
+                core.pending_spike_cycles = 0
+                resolution[i] = core.timer_resolution
+                noise[i] = core.noise.sample_array(
+                    core.rng, (rounds,)
+                ).astype(np.int64)
+            page_table = core.address_space.page_table
+            translation = page_table.lookup(va).translation
+            hint = translation.page_size if translation is not None else None
+
+            result = execute(va, page_size_hint=hint)
+            first[i] = result.cycles
+            if ops_per_va == 1:
                 steady[i] = result.cycles
+            else:
+                skipped = ops_per_va - 2
+                if not skipped:
+                    steady[i] = execute(va, page_size_hint=hint).cycles
+                else:
+                    snap = core.perf.snapshot()
+                    walks_before = core.walker.completed_walks
+                    result = execute(va, page_size_hint=hint)
+                    steady[i] = result.cycles
 
-                delta = core.perf.delta_since(snap)
-                for event, count in delta.items():
-                    if count:
-                        core.perf.increment(event, count * skipped)
-                walk_delta = core.walker.completed_walks - walks_before
-                if walk_delta:
-                    core.walker.completed_walks += walk_delta * skipped
-                core.clock.advance(int(result.cycles) * skipped)
+                    delta = core.perf.delta_since(snap)
+                    for event, count in delta.items():
+                        if count:
+                            core.perf.increment(event, count * skipped)
+                    walk_delta = core.walker.completed_walks - walks_before
+                    if walk_delta:
+                        core.walker.completed_walks += walk_delta * skipped
+                    core.clock.advance(int(result.cycles) * skipped)
 
-        # each of this VA's ``rounds`` timed measurements charges the
-        # RDTSC + loop overhead the per-op _observe() path would have
-        core.clock.advance(per_va_overhead)
+            # each of this VA's ``rounds`` timed measurements charges the
+            # RDTSC + loop overhead the per-op _observe() path would have
+            core.clock.advance(per_va_overhead)
+            if obs.enabled:
+                obs.metrics.observe(
+                    "engine.probe_cycles." + _page_class(translation),
+                    int(steady[i]),
+                )
 
-    timed = np.repeat(steady[:, None], rounds, axis=1)
-    if not warm:
-        timed[:, 0] = first
-    if chaos is None:
-        noise = core.noise.sample_array(core.rng, (n, rounds)).astype(np.int64)
-    measured = timed + cpu.measurement_overhead + noise
-    if chaos is not None:
-        measured[:, 0] += spike_col
-        measured -= measured % resolution[:, None]
-    elif core.timer_resolution > 1:
-        measured -= measured % core.timer_resolution
+        timed = np.repeat(steady[:, None], rounds, axis=1)
+        if not warm:
+            timed[:, 0] = first
+        if chaos is None:
+            noise = core.noise.sample_array(
+                core.rng, (n, rounds)
+            ).astype(np.int64)
+        measured = timed + cpu.measurement_overhead + noise
+        if chaos is not None:
+            measured[:, 0] += spike_col
+            measured -= measured % resolution[:, None]
+        elif core.timer_resolution > 1:
+            measured -= measured % core.timer_resolution
 
-    if reduce == "mean":
-        return measured.mean(axis=1)
-    if reduce == "min":
-        return measured.min(axis=1)
-    return measured
+        if reduce == "mean":
+            return measured.mean(axis=1)
+        if reduce == "min":
+            return measured.min(axis=1)
+        return measured

@@ -96,3 +96,12 @@ class JournalCorrupt(CampaignError):
 
 class WatchdogTimeout(CampaignError):
     """A worker exceeded its per-unit wall-clock watchdog and was killed."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or the tracer was misused.
+
+    Raised by the tracer on structural misuse (closing spans out of
+    order, finishing with open spans) and by the schema validator when a
+    trace file does not conform to ``repro-trace/v1``.
+    """

@@ -107,6 +107,10 @@ class TLB:
     def occupancy(self):
         return sum(len(bucket) for bucket in self._sets)
 
+    def stats(self):
+        """``(hits, misses)`` accumulated since construction."""
+        return (self.hits, self.misses)
+
     def conflicting_vpns(self, vpn, count):
         """Yield ``count`` distinct VPNs mapping to the same set as ``vpn``.
 
@@ -238,3 +242,13 @@ class TwoLevelTLB:
             "l1_1g": self.l1[PAGE_SIZE_1G].occupancy(),
             "stlb": self.stlb.occupancy(),
         }
+
+    def stats(self):
+        """Hit/miss counters per array, keyed by the array's name.
+
+        Read twice and differenced by :meth:`repro.obs.trace.Tracer`
+        (snapshot at attach, delta at finish) so TLB hit rates reach the
+        trace without any per-lookup instrumentation cost.
+        """
+        arrays = list(self.l1.values()) + [self.stlb]
+        return {array.name: array.stats() for array in arrays}

@@ -16,6 +16,7 @@ channel:
 
 from repro.mmu.address import split_indices
 from repro.mmu.psc import PagingLineCache, PagingStructureCache
+from repro.obs.metrics import DEPTH_BUCKETS
 
 
 class WalkTiming:
@@ -92,6 +93,10 @@ class PageTableWalker:
         self.use_psc = use_psc
         self.perf = perf
         self.completed_walks = 0
+        #: observability sink; rebound by Tracer.attach().  Kept None (not
+        #: the null tracer) so un-attached walkers skip even the guard's
+        #: attribute chase.
+        self.obs = None
 
     def walk(self, page_table, va, fill_psc=True, lookup=None):
         """Perform one timed walk of ``va`` through ``page_table``.
@@ -138,6 +143,18 @@ class PageTableWalker:
         if self.perf is not None:
             self.perf.increment("DTLB_LOAD_MISSES.WALK_COMPLETED")
             self.perf.increment("DTLB_LOAD_MISSES.WALK_DURATION", cycles)
+        if self.obs is not None and self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("walker.walks")
+            metrics.inc("walker.accesses", accesses)
+            metrics.inc("walker.cold_accesses", cold)
+            metrics.observe("walker.depth", terminal + 1,
+                            buckets=DEPTH_BUCKETS)
+            metrics.observe("walker.cycles", cycles)
+            if self.use_psc:
+                metrics.inc("walker.psc_lookups")
+                if start_level > 0:
+                    metrics.inc("walker.psc_hits")
         return WalkResult(
             translation=lookup.translation,
             terminal_level=terminal,

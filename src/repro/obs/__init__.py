@@ -1,0 +1,69 @@
+"""Observability: structured tracing, metrics, and attack forensics.
+
+Public surface:
+
+* :class:`~repro.obs.trace.Tracer` / :data:`~repro.obs.trace.NULL_TRACER`
+  -- span/event recording over simulated time;
+* :class:`~repro.obs.metrics.Metrics` / :class:`~repro.obs.metrics.Histogram`
+  -- counters and fixed-bucket histograms;
+* :mod:`repro.obs.schema` -- ``repro-trace/v1`` validation and the
+  wall-clock-stripping determinism helpers;
+* :mod:`repro.obs.forensics` -- ``repro trace summarize`` / ``report``
+  renderers.
+"""
+
+from repro.obs.forensics import (
+    render_report,
+    render_summary,
+    summarize,
+    summarize_file,
+)
+from repro.obs.metrics import (
+    CYCLE_BUCKETS,
+    DEPTH_BUCKETS,
+    FSYNC_US_BUCKETS,
+    Histogram,
+    Metrics,
+)
+from repro.obs.schema import (
+    WALL_FIELDS,
+    canonical_bytes,
+    load_trace,
+    strip_wall_fields,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    Tracer,
+    serialize,
+)
+
+__all__ = [
+    "CYCLE_BUCKETS",
+    "DEPTH_BUCKETS",
+    "FSYNC_US_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "WALL_FIELDS",
+    "canonical_bytes",
+    "load_trace",
+    "render_report",
+    "render_summary",
+    "serialize",
+    "strip_wall_fields",
+    "summarize",
+    "summarize_file",
+    "validate_trace",
+    "validate_trace_file",
+]

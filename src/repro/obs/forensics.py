@@ -1,0 +1,304 @@
+"""Attack forensics: turn a trace into a human-readable post-mortem.
+
+The trace answers *what happened*; this module answers *why the verdict
+came out the way it did*: which chaos events fired mid-scan, how far the
+decision threshold was re-anchored chunk by chunk, what the per-page-
+class probe-timing distributions looked like, and where the simulated
+time went (the span tree).  Rendered two ways:
+
+* :func:`render_summary` -- a terminal-sized digest
+  (``repro trace summarize``);
+* :func:`render_report` -- a full markdown forensics report
+  (``repro trace report``), the artifact to attach to a bug about a
+  chaos-induced misclassification.
+"""
+
+from repro.obs.schema import load_trace, validate_trace
+
+#: glyphs for the distribution sketches, lightest to heaviest
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def summarize(records):
+    """Fold a validated record list into one summary dict."""
+    validate_trace(records)
+    meta = records[0]["meta"]
+    spans = {}
+    roots = []
+    span_counts = {}
+    event_counts = {}
+    chaos = []
+    reanchors = []
+    retries = []
+    degradations = []
+    verdict = None
+    for record in records[1:-2]:
+        if record["type"] == "span":
+            node = {
+                "id": record["id"],
+                "name": record["name"],
+                "start": record["start_cycles"],
+                "end": record["end_cycles"],
+                "attrs": record["attrs"],
+                "children": [],
+            }
+            spans[record["id"]] = node
+            entry = span_counts.setdefault(
+                record["name"], {"count": 0, "cycles": 0}
+            )
+            entry["count"] += 1
+            if node["start"] is not None and node["end"] is not None:
+                entry["cycles"] += node["end"] - node["start"]
+        else:
+            kind = record["kind"]
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+            if kind == "chaos":
+                chaos.append(record)
+            elif kind == "threshold-reanchor":
+                reanchors.append(record)
+            elif kind == "retry":
+                retries.append(record)
+            elif kind == "degradation":
+                degradations.append(record)
+            elif kind == "verdict":
+                verdict = record["attrs"]
+    # children close before parents, so every parent record appears
+    # after its children: link in a second pass over close order
+    for record in records[1:-2]:
+        if record["type"] != "span":
+            continue
+        node = spans[record["id"]]
+        if record["parent"] is None:
+            roots.append(node)
+        else:
+            spans[record["parent"]]["children"].append(node)
+    for node in spans.values():
+        node["children"].sort(
+            key=lambda child: (child["start"] is None, child["start"],
+                               child["id"])
+        )
+    roots.sort(key=lambda n: (n["start"] is None, n["start"], n["id"]))
+
+    metrics = records[-2]
+    drifts = _reanchor_drifts(reanchors)
+    return {
+        "meta": meta,
+        "verdict": verdict,
+        "span_counts": span_counts,
+        "span_tree": roots,
+        "event_counts": event_counts,
+        "chaos": chaos,
+        "reanchors": reanchors,
+        "reanchor_drifts": drifts,
+        "retries": retries,
+        "degradations": degradations,
+        "counters": metrics["counters"],
+        "histograms": metrics["histograms"],
+        "wall_ms": records[-1].get("wall_ms"),
+    }
+
+
+def summarize_file(path):
+    return summarize(load_trace(path))
+
+
+def _reanchor_drifts(reanchors):
+    """Threshold drift of each re-anchor relative to the first one."""
+    thresholds = [
+        event["attrs"]["threshold"] for event in reanchors
+        if isinstance(event["attrs"].get("threshold"), (int, float))
+    ]
+    if not thresholds:
+        return []
+    first = thresholds[0]
+    return [round(value - first, 3) for value in thresholds]
+
+
+def _fmt_count_map(counts):
+    return ", ".join(
+        "{} x{}".format(name, entry)
+        for name, entry in sorted(counts.items())
+    ) or "none"
+
+
+def render_summary(summary):
+    """A compact, stable, terminal-sized digest of one trace."""
+    meta = summary["meta"]
+    lines = []
+    lines.append("trace     : {} seed={} cpu={} chaos={}".format(
+        meta.get("command", "?"), meta.get("seed"),
+        meta.get("cpu"), meta.get("chaos_profile")))
+    verdict = summary["verdict"]
+    if verdict is not None:
+        lines.append(
+            "verdict   : {} value={} confidence={} retries={}".format(
+                verdict.get("status"), verdict.get("value"),
+                verdict.get("confidence"), verdict.get("retries")))
+    else:
+        lines.append("verdict   : (no verdict event; untraced or raw run)")
+    lines.append("spans     : {}".format(_fmt_count_map({
+        name: entry["count"]
+        for name, entry in summary["span_counts"].items()
+    })))
+    lines.append("events    : {}".format(
+        _fmt_count_map(summary["event_counts"])))
+    chaos_kinds = {}
+    for event in summary["chaos"]:
+        kind = event["attrs"].get("kind", "?")
+        chaos_kinds[kind] = chaos_kinds.get(kind, 0) + 1
+    lines.append("chaos     : {}".format(_fmt_count_map(chaos_kinds)))
+    drifts = summary["reanchor_drifts"]
+    if drifts:
+        lines.append(
+            "reanchors : {} (threshold drift {:+.1f} .. {:+.1f} cycles)"
+            .format(len(drifts), min(drifts), max(drifts)))
+    else:
+        lines.append("reanchors : none")
+    classes = sorted(
+        name.rsplit(".", 1)[1]
+        for name in summary["histograms"]
+        if name.startswith("engine.probe_cycles.")
+    )
+    lines.append("pageclass : {}".format(", ".join(classes) or "none"))
+    return "\n".join(lines)
+
+
+def _sketch(histogram):
+    """One-line unicode sketch of a histogram's bucket counts."""
+    counts = histogram["counts"]
+    peak = max(counts) if any(counts) else 1
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   (count * (len(_SPARK) - 1) + peak - 1) // peak)]
+        if count else " "
+        for count in counts
+    )
+
+
+def _fmt_cycles(value):
+    return "{:,}".format(value) if value is not None else "?"
+
+
+def _render_tree(node, indent, lines):
+    duration = ""
+    if node["start"] is not None and node["end"] is not None:
+        duration = " ({} cy)".format(
+            _fmt_cycles(node["end"] - node["start"]))
+    attrs = ", ".join(
+        "{}={}".format(key, value)
+        for key, value in sorted(node["attrs"].items())
+    )
+    lines.append("{}- **{}**{}{}".format(
+        "  " * indent, node["name"], duration,
+        "  `{}`".format(attrs) if attrs else ""))
+    for child in node["children"]:
+        _render_tree(child, indent + 1, lines)
+
+
+def render_report(summary):
+    """The full markdown forensics report for one trace."""
+    meta = summary["meta"]
+    lines = ["# Attack forensics", ""]
+    lines.append("| field | value |")
+    lines.append("|---|---|")
+    for key in sorted(meta):
+        lines.append("| {} | {} |".format(key, meta[key]))
+    if summary["wall_ms"] is not None:
+        lines.append("| wall_ms | {} |".format(summary["wall_ms"]))
+    lines.append("")
+
+    verdict = summary["verdict"]
+    lines.append("## Verdict")
+    lines.append("")
+    if verdict is None:
+        lines.append("No verdict event (raw, unsupervised run).")
+    else:
+        lines.append("| field | value |")
+        lines.append("|---|---|")
+        for key in sorted(verdict):
+            lines.append("| {} | {} |".format(key, verdict[key]))
+    lines.append("")
+
+    lines.append("## Span tree")
+    lines.append("")
+    if summary["span_tree"]:
+        for root in summary["span_tree"]:
+            _render_tree(root, 0, lines)
+    else:
+        lines.append("No spans recorded.")
+    lines.append("")
+
+    lines.append("## Chaos-event timeline")
+    lines.append("")
+    if summary["chaos"]:
+        lines.append("| at (cycles) | kind | params |")
+        lines.append("|---|---|---|")
+        for event in summary["chaos"]:
+            attrs = dict(event["attrs"])
+            kind = attrs.pop("kind", "?")
+            attrs.pop("applied_at", None)
+            lines.append("| {} | {} | {} |".format(
+                _fmt_cycles(event["at_cycles"]), kind,
+                ", ".join("{}={}".format(k, v)
+                          for k, v in sorted(attrs.get("params",
+                                                       attrs).items()))))
+    else:
+        lines.append("No chaos events fired during this run.")
+    lines.append("")
+
+    lines.append("## Threshold re-anchoring")
+    lines.append("")
+    if summary["reanchors"]:
+        lines.append("| at (cycles) | chunk | anchor | threshold |"
+                     " drift vs first |")
+        lines.append("|---|---|---|---|---|")
+        for event, drift in zip(summary["reanchors"],
+                                summary["reanchor_drifts"]):
+            attrs = event["attrs"]
+            lines.append("| {} | {} | {:.1f} | {:.1f} | {:+.1f} |".format(
+                _fmt_cycles(event["at_cycles"]), attrs.get("chunk"),
+                attrs.get("anchor", float("nan")),
+                attrs.get("threshold", float("nan")), drift))
+    else:
+        lines.append("No per-chunk threshold re-anchors "
+                     "(raw attack or scan-free run).")
+    lines.append("")
+
+    lines.append("## Probe-timing distributions by page class")
+    lines.append("")
+    sketched = False
+    for name in sorted(summary["histograms"]):
+        if not name.startswith("engine.probe_cycles."):
+            continue
+        sketched = True
+        hist = summary["histograms"][name]
+        mean = hist["total"] / hist["count"] if hist["count"] else 0.0
+        lines.append("### {}".format(name.rsplit(".", 1)[1]))
+        lines.append("")
+        lines.append(
+            "n={} min={} max={} mean={:.1f} cycles".format(
+                hist["count"], hist["min"], hist["max"], mean))
+        lines.append("")
+        lines.append("```")
+        lines.append(_sketch(hist))
+        lines.append("".join("{:<4}".format("≤" + str(bound))
+                             for bound in hist["buckets"][:16]))
+        lines.append("```")
+        lines.append("")
+    if not sketched:
+        lines.append("No per-page-class probe histograms "
+                     "(tracing was off during the sweeps).")
+        lines.append("")
+
+    lines.append("## Counters")
+    lines.append("")
+    if summary["counters"]:
+        lines.append("| counter | value |")
+        lines.append("|---|---|")
+        for name in sorted(summary["counters"]):
+            lines.append("| {} | {} |".format(
+                name, summary["counters"][name]))
+    else:
+        lines.append("No counters recorded.")
+    lines.append("")
+    return "\n".join(lines)

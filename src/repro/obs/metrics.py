@@ -1,0 +1,143 @@
+"""Counters and fixed-bucket histograms for the observability layer.
+
+The registry is deliberately primitive: a counter is one integer, a
+histogram is a tuple of pre-declared upper bounds plus an integer count
+per bucket.  No locks, no label cartesian products, no dynamic bucket
+growth -- every ``observe`` is two dict lookups, a bisect over a short
+tuple, and an integer increment, cheap enough to sit on the probe
+engine's per-VA path when tracing is enabled (and it is never called
+when tracing is disabled; the hot paths guard on ``tracer.enabled``).
+
+Everything serializes deterministically: :meth:`Metrics.as_dict` sorts
+names, bucket bounds are fixed at registration, and no wall-clock value
+enters unless a caller explicitly observes one (by convention such
+metrics carry ``wall`` in their name so determinism checks can strip
+them -- see :mod:`repro.obs.schema`).
+"""
+
+from bisect import bisect_left
+
+#: default bucket upper bounds for cycle-valued histograms; chosen so the
+#: paper's anchor latencies (13 / 76 / 92 / 107 / 147 / 381 cycles) land
+#: in distinct buckets
+CYCLE_BUCKETS = (
+    8, 16, 24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 256, 384, 512,
+    768, 1024, 2048, 4096,
+)
+
+#: bucket bounds for page-walk depth (terminal paging level, 1..4; the
+#: 5 bucket catches a modelling bug rather than a real walk)
+DEPTH_BUCKETS = (1, 2, 3, 4, 5)
+
+#: bucket bounds (microseconds) for journal fsync latency
+FSYNC_US_BUCKETS = (50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000)
+
+
+class Histogram:
+    """A fixed-bucket histogram: counts of observations per bound.
+
+    ``buckets`` is a strictly increasing tuple of inclusive upper
+    bounds; bucket ``i`` counts observations ``v`` with
+    ``buckets[i-1] < v <= buckets[i]`` and one extra overflow bucket
+    counts everything above the last bound.  ``count`` / ``total`` /
+    ``min`` / ``max`` are tracked exactly, so means survive bucketing.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name, buckets=CYCLE_BUCKETS):
+        buckets = tuple(buckets)
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(nxt <= prev for prev, nxt in zip(buckets, buckets[1:])):
+            raise ValueError(
+                "bucket bounds must be strictly increasing: {!r}"
+                .format(buckets)
+            )
+        self.name = name
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def bucket_index(self, value):
+        """Index of the bucket ``value`` falls into (last = overflow)."""
+        return bisect_left(self.buckets, value)
+
+    def observe(self, value):
+        self.counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self):
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Metrics:
+    """A flat registry of named counters and histograms.
+
+    Counters and histograms live in separate namespaces; a histogram is
+    created on first :meth:`observe` with the bucket bounds supplied
+    there (later calls reuse the registered bounds -- passing different
+    bounds for an existing name is an error, bounds are part of the
+    schema).
+    """
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self):
+        self.counters = {}
+        self.histograms = {}
+
+    def inc(self, name, amount=1):
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def histogram(self, name, buckets=CYCLE_BUCKETS):
+        """Get-or-create the histogram registered under ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name, buckets)
+        elif hist.buckets != tuple(buckets):
+            raise ValueError(
+                "histogram {!r} already registered with bounds {!r}"
+                .format(name, hist.buckets)
+            )
+        return hist
+
+    def observe(self, name, value, buckets=CYCLE_BUCKETS):
+        """Record ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name, buckets)
+        hist.observe(value)
+
+    def as_dict(self):
+        """Deterministic (name-sorted) serialization of the registry."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
+        }

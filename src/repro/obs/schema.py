@@ -1,0 +1,210 @@
+"""The ``repro-trace/v1`` schema: validation and determinism helpers.
+
+A trace is a JSONL document with four record types::
+
+    {"type": "trace-start", "schema": "repro-trace/v1", "meta": {...}}
+    {"type": "span", "id": 0, "parent": null, "name": "...",
+     "start_cycles": 123, "end_cycles": 456, "attrs": {...}}
+    {"type": "event", "kind": "...", "span": 0, "at_cycles": 130,
+     "attrs": {...}}
+    {"type": "metrics", "counters": {...}, "histograms": {...}}
+    {"type": "trace-finish", "spans": N, "events": M, "wall_ms": ...}
+
+Structural rules enforced here:
+
+* exactly one ``trace-start`` (first) and one ``trace-finish`` (last),
+  with one ``metrics`` record just before the footer;
+* span ids are unique, parents reference existing spans, and -- because
+  spans are emitted at *close* -- every child record precedes its
+  parent's and nests inside the parent's ``[start, end]`` interval;
+* events reference the enclosing open span (or ``null`` at top level);
+* timestamps are simulated cycles (ints) or ``null`` for clock-less
+  tracers (the campaign runner's); the footer's ``wall_ms`` and any
+  metric whose name contains ``wall`` are the only wall-clock values.
+
+:func:`strip_wall_fields` removes exactly those wall-clock values, which
+is the equality modulo used by the byte-determinism tests and the CI
+trace-smoke job.
+"""
+
+import json
+import pathlib
+
+from repro.errors import TraceError
+from repro.obs.trace import TRACE_SCHEMA, serialize
+
+#: record keys that may legitimately differ between reruns of one seed
+WALL_FIELDS = ("wall_ms",)
+
+
+def load_trace(path):
+    """Parse a JSONL trace file into a list of record dicts."""
+    records = []
+    for number, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise TraceError(
+                "trace {} line {}: not valid JSON ({})".format(
+                    path, number, error
+                )
+            ) from error
+    return records
+
+
+def _require(condition, message, *args):
+    if not condition:
+        raise TraceError(message.format(*args))
+
+
+def _check_cycles(value, what):
+    _require(value is None or isinstance(value, int) and value >= 0,
+             "{} must be a non-negative int or null, got {!r}", what, value)
+
+
+def validate_trace(records):
+    """Validate a record list against ``repro-trace/v1``.
+
+    Returns a small stats dict (span/event/metric counts) on success;
+    raises :class:`~repro.errors.TraceError` naming the first offence.
+    """
+    _require(bool(records), "empty trace")
+    head, tail = records[0], records[-1]
+    _require(head.get("type") == "trace-start",
+             "first record must be trace-start, got {!r}", head.get("type"))
+    _require(head.get("schema") == TRACE_SCHEMA,
+             "unknown trace schema {!r} (expected {!r})",
+             head.get("schema"), TRACE_SCHEMA)
+    _require(isinstance(head.get("meta"), dict),
+             "trace-start.meta must be an object")
+    _require(tail.get("type") == "trace-finish",
+             "last record must be trace-finish, got {!r}", tail.get("type"))
+    _require(len(records) >= 3
+             and records[-2].get("type") == "metrics",
+             "the record before trace-finish must be metrics")
+
+    spans = {}
+    events = 0
+    for position, record in enumerate(records[1:-2], start=1):
+        kind = record.get("type")
+        if kind == "span":
+            span_id = record.get("id")
+            _require(isinstance(span_id, int),
+                     "span record at position {} has no integer id",
+                     position)
+            _require(span_id not in spans,
+                     "duplicate span id {}", span_id)
+            _require(isinstance(record.get("name"), str),
+                     "span {} has no name", span_id)
+            _check_cycles(record.get("start_cycles"),
+                          "span {}.start_cycles".format(span_id))
+            _check_cycles(record.get("end_cycles"),
+                          "span {}.end_cycles".format(span_id))
+            start, end = record.get("start_cycles"), record.get("end_cycles")
+            if start is not None and end is not None:
+                _require(start <= end,
+                         "span {} ends ({}) before it starts ({})",
+                         span_id, end, start)
+            parent = record.get("parent")
+            _require(parent is None or isinstance(parent, int),
+                     "span {}.parent must be an id or null", span_id)
+            if parent is not None:
+                # close-order emission: a parent closes after its
+                # children, so it cannot have been emitted yet
+                _require(parent not in spans,
+                         "span {} references parent {} that closed "
+                         "before it", span_id, parent)
+            spans[span_id] = record
+        elif kind == "event":
+            _require(isinstance(record.get("kind"), str),
+                     "event at position {} has no kind", position)
+            _check_cycles(record.get("at_cycles"),
+                          "event at position {}".format(position))
+            span_ref = record.get("span")
+            _require(span_ref is None or isinstance(span_ref, int),
+                     "event at position {}: span must be an id or null",
+                     position)
+            if span_ref is not None:
+                # the referenced span was open when the event fired, so
+                # its close record comes later in the stream
+                _require(span_ref not in spans,
+                         "event at position {} references span {} that "
+                         "already closed", position, span_ref)
+            events += 1
+        else:
+            raise TraceError(
+                "unexpected record type {!r} at position {}".format(
+                    kind, position
+                )
+            )
+
+    # parent/nesting pass over the completed span table
+    for span_id, record in spans.items():
+        parent = record.get("parent")
+        if parent is None:
+            continue
+        _require(parent in spans,
+                 "span {} references unknown parent {}", span_id, parent)
+        outer = spans[parent]
+        for edge in ("start_cycles", "end_cycles"):
+            if record[edge] is None or outer[edge] is None:
+                break
+        else:
+            _require(
+                outer["start_cycles"] <= record["start_cycles"]
+                and record["end_cycles"] <= outer["end_cycles"],
+                "span {} [{}, {}] not nested inside parent {} [{}, {}]",
+                span_id, record["start_cycles"], record["end_cycles"],
+                parent, outer["start_cycles"], outer["end_cycles"],
+            )
+
+    metrics = records[-2]
+    for field in ("counters", "histograms"):
+        _require(isinstance(metrics.get(field), dict),
+                 "metrics.{} must be an object", field)
+    _require(tail.get("spans") == len(spans),
+             "trace-finish counts {} spans, found {}",
+             tail.get("spans"), len(spans))
+    _require(tail.get("events") == events,
+             "trace-finish counts {} events, found {}",
+             tail.get("events"), events)
+    return {
+        "spans": len(spans),
+        "events": events,
+        "counters": len(metrics["counters"]),
+        "histograms": len(metrics["histograms"]),
+    }
+
+
+def validate_trace_file(path):
+    """Load + validate a trace file; returns the stats dict."""
+    return validate_trace(load_trace(path))
+
+
+def strip_wall_fields(records):
+    """Deep-copy ``records`` with every wall-clock value removed.
+
+    Drops the :data:`WALL_FIELDS` keys from every record and every
+    counter/histogram whose name contains ``wall`` -- the exact "modulo
+    wall clock" under which two same-seed traces must be byte-identical.
+    """
+    stripped = json.loads(json.dumps(records))
+    for record in stripped:
+        for field in WALL_FIELDS:
+            record.pop(field, None)
+        if record.get("type") == "metrics":
+            for field in ("counters", "histograms"):
+                record[field] = {
+                    name: value for name, value in record[field].items()
+                    if "wall" not in name
+                }
+    return stripped
+
+
+def canonical_bytes(records):
+    """Serialized form of ``records`` after wall-field stripping."""
+    return serialize(strip_wall_fields(records)).encode("utf-8")

@@ -1,0 +1,298 @@
+"""Structured tracing: nested spans and typed events over simulated time.
+
+A :class:`Tracer` records what an attack *did* -- the calibrate / scan /
+chunk / repair / verdict structure as nested spans, and the punctual
+facts (a threshold re-anchor, a chaos event firing, a retry, a
+degradation) as typed events -- into an in-memory buffer that
+:meth:`Tracer.finish` serializes as one JSONL document through the
+crash-safe atomic writer in :mod:`repro.ioutil`.
+
+Two properties are load-bearing:
+
+* **determinism** -- every timestamp is read from the *simulated* clock
+  (:class:`repro.cpu.clock.SimClock`), span ids are assigned in call
+  order, and serialization sorts keys; two runs with the same seed
+  therefore produce byte-identical traces except for the explicitly
+  wall-clock fields (``wall_ms``; metric names containing ``wall``).
+  Traces double as regression artifacts: diff them.
+* **near-zero disabled cost** -- the default tracer on every core is the
+  module-level :data:`NULL_TRACER` whose ``enabled`` flag is False.  Hot
+  paths (the probe engine's per-VA loop, the walker) guard all per-item
+  work with ``if tracer.enabled``; cold paths may call
+  ``tracer.span(...)`` unconditionally, which on the null tracer returns
+  a shared no-op context manager without allocating.
+"""
+
+import json
+
+from repro.errors import TraceError
+from repro.ioutil import write_atomic
+from repro.obs.metrics import Metrics
+
+#: schema tag stamped into the trace-start record and checked by
+#: :mod:`repro.obs.schema`
+TRACE_SCHEMA = "repro-trace/v1"
+
+
+def _jsonable(value):
+    """Coerce attribute values to plain JSON types (numpy scalars too)."""
+    if isinstance(value, bool) or value is None \
+            or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    return repr(value)
+
+
+class _NullSpan:
+    """The shared do-nothing span handle of the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer-shaped no-op; the default on every core.
+
+    ``enabled`` is False, so guarded hot paths skip their instrumentation
+    entirely; unguarded ``span``/``event`` calls cost one method call and
+    allocate nothing.
+    """
+
+    __slots__ = ()
+    enabled = False
+    metrics = None
+
+    def span(self, name, **attrs):
+        return NULL_SPAN
+
+    def event(self, _kind, **attrs):
+        return None
+
+    def finish(self, wall_ms=None):
+        return []
+
+
+#: the module-level null tracer every Core starts with
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """An open span: a named interval of simulated time with attributes.
+
+    Use as a context manager (the normal case) or close explicitly via
+    the owning tracer.  :meth:`set` attaches attributes discovered
+    mid-span (e.g. the calibration threshold once it is known).
+    """
+
+    __slots__ = ("tracer", "id", "parent", "name", "start_cycles", "attrs")
+
+    def __init__(self, tracer, span_id, parent, name, start_cycles, attrs):
+        self.tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.start_cycles = start_cycles
+        self.attrs = attrs
+
+    def set(self, **attrs):
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer.close_span(self)
+        return False
+
+
+class Tracer:
+    """Buffered span/event recorder bound to a simulated clock.
+
+    ``path`` (optional) is where :meth:`finish` atomically writes the
+    JSONL document; without it the records are only returned.  ``clock``
+    supplies timestamps -- normally wired by :meth:`attach`; a tracer
+    without a clock (the campaign runner's) records ``null`` timestamps.
+    ``enabled=False`` builds a tracer that is attached but dormant --
+    the hot-path guards see it exactly like :data:`NULL_TRACER` (the
+    no-op-overhead tests compare the two).
+    """
+
+    def __init__(self, path=None, clock=None, meta=None, metrics=None,
+                 enabled=True):
+        self.path = path
+        self.clock = clock
+        self.enabled = enabled
+        self.meta = dict(meta or {})
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._records = []
+        self._stack = []
+        self._next_id = 0
+        self._span_count = 0
+        self._event_count = 0
+        self._tlb_baseline = None
+        self._tlb = None
+        self._finished = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, machine):
+        """Bind to ``machine``: clock, core, walker, and run metadata.
+
+        After this, the machine's probe engine, walker, supervisor and
+        chaos runtime all see this tracer through ``core.obs``; the TLB
+        hit/miss counters are snapshotted so :meth:`finish` can report
+        the deltas accrued during the traced run.
+        """
+        core = machine.core
+        self.clock = core.clock
+        core.obs = self
+        core.walker.obs = self
+        self._tlb = core.tlb
+        self._tlb_baseline = core.tlb.stats()
+        self.meta.setdefault("cpu", machine.cpu.name)
+        self.meta.setdefault("os", machine.os_family)
+        self.meta.setdefault("seed", machine.seed)
+        self.meta.setdefault(
+            "chaos_profile",
+            machine.chaos.profile.name if machine.chaos is not None else None,
+        )
+        return self
+
+    def _now(self):
+        return self.clock.cycles if self.clock is not None else None
+
+    # -- spans and events ------------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Open a nested span; close it via ``with`` (or ``close_span``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1].id if self._stack else None
+        span = Span(self, self._next_id, parent, name, self._now(),
+                    attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def close_span(self, span):
+        """Close ``span``; spans must close innermost-first."""
+        if not self._stack or self._stack[-1] is not span:
+            raise TraceError(
+                "span {!r} (id {}) closed out of order; open stack: {}"
+                .format(span.name, span.id,
+                        [s.name for s in self._stack])
+            )
+        self._stack.pop()
+        self._span_count += 1
+        self._records.append({
+            "type": "span",
+            "id": span.id,
+            "parent": span.parent,
+            "name": span.name,
+            "start_cycles": span.start_cycles,
+            "end_cycles": self._now(),
+            "attrs": _jsonable(span.attrs),
+        })
+
+    def event(self, _kind, **attrs):
+        """Record one punctual typed event inside the current span.
+
+        The positional-only-by-convention ``_kind`` name keeps the attr
+        namespace clean: callers may attach an attribute called ``kind``
+        (the chaos events do).
+        """
+        if not self.enabled:
+            return None
+        record = {
+            "type": "event",
+            "kind": _kind,
+            "span": self._stack[-1].id if self._stack else None,
+            "at_cycles": self._now(),
+            "attrs": _jsonable(attrs),
+        }
+        self._event_count += 1
+        self._records.append(record)
+        return record
+
+    # -- finalization ----------------------------------------------------------
+
+    def _harvest_tlb(self):
+        if self._tlb is None:
+            return
+        for name, (hits, misses) in sorted(self._tlb.stats().items()):
+            base_hits, base_misses = self._tlb_baseline.get(name, (0, 0))
+            self.metrics.inc("tlb.{}.hits".format(name), hits - base_hits)
+            self.metrics.inc("tlb.{}.misses".format(name),
+                             misses - base_misses)
+
+    def finish(self, wall_ms=None):
+        """Seal the trace; write it to ``path`` if one was given.
+
+        Returns the full record list: a ``trace-start`` header, every
+        span/event in emission order, one ``metrics`` record, and a
+        ``trace-finish`` footer.  ``wall_ms`` is the only wall-clock
+        field in an attack trace (campaign traces additionally carry
+        ``wall``-named metrics); determinism comparisons strip it via
+        :func:`repro.obs.schema.strip_wall_fields`.
+        """
+        if self._finished:
+            raise TraceError("tracer already finished")
+        if self._stack:
+            raise TraceError(
+                "trace finished with open spans: {}".format(
+                    [s.name for s in self._stack]
+                )
+            )
+        self._finished = True
+        self._harvest_tlb()
+        metrics = self.metrics.as_dict()
+        records = [{
+            "type": "trace-start",
+            "schema": TRACE_SCHEMA,
+            "meta": _jsonable(self.meta),
+        }]
+        records.extend(self._records)
+        records.append({
+            "type": "metrics",
+            "counters": metrics["counters"],
+            "histograms": metrics["histograms"],
+        })
+        records.append({
+            "type": "trace-finish",
+            "spans": self._span_count,
+            "events": self._event_count,
+            "wall_ms": round(wall_ms, 3) if wall_ms is not None else None,
+        })
+        if self.path is not None:
+            write_atomic(self.path, serialize(records))
+        return records
+
+
+def serialize(records):
+    """Canonical JSONL serialization (sorted keys, compact separators)."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in records
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Docs lint: the module map must be complete, intra-doc links alive.
+
+Two checks, both cheap enough for every CI run:
+
+* **module-map completeness** -- every module file under ``src/repro/``
+  (``__init__.py`` / ``__main__.py`` excepted; they re-export and
+  dispatch only) must be named, by its ``repro/...`` path, in
+  ``docs/architecture.md``.  Adding a module without documenting where
+  it sits in the stack fails the build.
+* **dead intra-doc links** -- every relative markdown link in
+  ``README.md`` and ``docs/*.md`` must resolve to an existing file
+  (anchors are stripped; external ``http(s)``/``mailto`` links are not
+  checked).
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+ARCHITECTURE = REPO / "docs" / "architecture.md"
+
+#: module basenames exempt from the map (re-export / dispatch shims)
+EXEMPT = {"__init__.py", "__main__.py"}
+
+#: markdown inline links; deliberately simple -- the docs do not nest
+#: brackets inside link text
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def module_map_violations():
+    """Modules under src/repro/ missing from docs/architecture.md."""
+    text = ARCHITECTURE.read_text()
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in EXEMPT:
+            continue
+        name = path.relative_to(SRC).as_posix()
+        if name not in text:
+            missing.append(
+                "docs/architecture.md: module map is missing {}".format(name)
+            )
+    return missing
+
+
+def dead_link_violations():
+    """Relative markdown links that resolve to nothing."""
+    dead = []
+    pages = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    for page in pages:
+        for target in _LINK.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (page.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                dead.append(
+                    "{}: dead link -> {}".format(
+                        page.relative_to(REPO), target
+                    )
+                )
+    return dead
+
+
+def main():
+    violations = module_map_violations() + dead_link_violations()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print("docs lint: {} violation(s)".format(len(violations)))
+        return 1
+    print("docs lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
