@@ -20,7 +20,12 @@ import time
 from _bench_utils import once, write_result
 
 from repro.analysis.report import format_table
-from repro.campaign import CampaignJournal, CampaignRunner, replay
+from repro.campaign import (
+    CampaignJournal,
+    CampaignRunner,
+    ShardedCampaignRunner,
+    replay,
+)
 from repro.campaign import journal as wal
 from repro.ioutil import write_json_atomic
 from repro.scenarios import run_suite
@@ -93,15 +98,52 @@ def _bench_overhead():
     }
 
 
+def _bench_sharded():
+    """Sharded fabric (--shards 4) vs the single-pool runner at jobs=4."""
+    def _verdicts(store):
+        return {unit["name"]: (unit["status"], unit.get("result"))
+                for unit in store["units"]}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        single = CampaignRunner(
+            tmp / "single.jsonl", directory=SCENARIO_DIR, jobs=4,
+        )
+        start = time.perf_counter()
+        single_report = single.run()
+        single_s = time.perf_counter() - start
+
+        sharded = ShardedCampaignRunner(
+            tmp / "sharded.jsonl", directory=SCENARIO_DIR,
+            shards=4, jobs=4,
+        )
+        start = time.perf_counter()
+        sharded_report = sharded.run()
+        sharded_s = time.perf_counter() - start
+
+    assert _verdicts(sharded_report.store) == _verdicts(single_report.store)
+    return {
+        "scenarios": len(single_report.store["units"]),
+        "shards": 4,
+        "single_pool_s": round(single_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "sharded_overhead_x": round(sharded_s / single_s, 2),
+        "budget_x": 1.10,
+    }
+
+
 def run_campaign_bench():
     journal = _bench_journal()
     overhead = _bench_overhead()
+    sharded = _bench_sharded()
 
     # durability must stay cheap: the journal is not the bottleneck
     assert journal["appends_per_s"] >= 50.0, journal
+    # the fault-domain fabric must stay cheap too
+    assert sharded["sharded_overhead_x"] <= sharded["budget_x"], sharded
 
     write_json_atomic(BENCH_JSON, {
-        "journal": journal, "overhead": overhead,
+        "journal": journal, "overhead": overhead, "sharded": sharded,
     }, indent=2)
 
     rows = [
@@ -116,6 +158,10 @@ def run_campaign_bench():
          overhead["scenarios"], overhead["campaign_s"],
          "{}x suite ({}s)".format(overhead["overhead_x"],
                                   overhead["suite_s"])],
+        ["sharded (4 shards) vs single pool",
+         sharded["scenarios"], sharded["sharded_s"],
+         "{}x single pool ({}s)".format(sharded["sharded_overhead_x"],
+                                        sharded["single_pool_s"])],
     ]
     return format_table(
         ["workload", "n", "seconds", "rate"], rows,

@@ -9,12 +9,22 @@ Turns one-shot suite execution into a durable, resumable campaign:
 * :mod:`repro.campaign.runner` -- orchestration: plan a scenario
   directory into units, journal every transition, resume after a
   crash, degrade on deadline, and write the schema-versioned result
-  store atomically.
+  store atomically;
+* :mod:`repro.campaign.shard` / :mod:`repro.campaign.coordinator` --
+  the sharded fabric: N shard fault domains (own journal, own pool,
+  own fault injector) coordinated through work-stealing into the same
+  deterministic result store.
 """
 
+from repro.campaign.coordinator import (  # noqa: F401
+    ShardedCampaignReport,
+    ShardedCampaignRunner,
+    campaign_status,
+)
 from repro.campaign.journal import (  # noqa: F401
     CampaignJournal,
     fold_records,
+    fsck_journal,
     replay,
 )
 from repro.campaign.pool import PoolOutcome, SupervisedPool  # noqa: F401
@@ -22,4 +32,9 @@ from repro.campaign.runner import (  # noqa: F401
     CampaignReport,
     CampaignRunner,
     plan_units,
+)
+from repro.campaign.shard import (  # noqa: F401
+    Shard,
+    shard_journal_path,
+    shard_of,
 )

@@ -17,20 +17,38 @@ can be replayed from disk.  Three properties make that safe:
 Replay is idempotent over duplicate events: if a crash lands between a
 ``unit-finish`` append and the supervisor's acknowledgement, the retry
 appends a second finish for the same unit; :func:`fold_records` keeps
-the first and ignores the rest, so the replayed state -- and therefore
-the final result store -- is identical either way.
+the first and ignores byte-equal re-finishes, so the replayed state --
+and therefore the final result store -- is identical either way.  Two
+finishes that *disagree* about one unit raise
+:class:`~repro.errors.JournalConflict` instead: units are deterministic
+functions of their spec, so disagreement means corruption or a broken
+determinism contract, never something to paper over.
 """
 
+import hashlib
 import json
 import os
 import pathlib
 import zlib
 
-from repro.errors import CampaignError, JournalCorrupt
-from repro.ioutil import append_durable, fsync_directory
+from repro.errors import (
+    CampaignError,
+    JournalConflict,
+    JournalCorrupt,
+    JournalWriteError,
+)
+from repro.ioutil import (
+    append_durable,
+    fsync_directory,
+    write_atomic,
+    write_json_atomic,
+)
 
 #: journal schema version, stamped into every record
 JOURNAL_VERSION = 1
+
+#: schema tag of the atomically-written fsck salvage report
+SALVAGE_SCHEMA = "repro-campaign-salvage/v1"
 
 #: record types
 CAMPAIGN_START = "campaign-start"
@@ -39,6 +57,11 @@ UNIT_START = "unit-start"
 UNIT_FINISH = "unit-finish"
 UNIT_RETRY = "unit-retry"
 UNIT_SKIP = "unit-skip"
+#: sharded-fabric record types (coordinator + shard journals); replay
+#: folds ignore them, forensics and fsck read them
+SHARD_START = "shard-start"
+SHARD_FINISH = "shard-finish"
+STEAL = "steal"
 
 
 def _canonical(record):
@@ -59,6 +82,34 @@ def seal(record):
     return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
 
 
+def _scan(path):
+    """Parse a journal line by line; yield ``(number, end, record, reason)``.
+
+    ``end`` is the byte offset just past the line.  Exactly one of
+    ``record`` / ``reason`` is non-None: an intact record, or a string
+    explaining why the line is damaged.  Blank lines are skipped.
+    """
+    raw = pathlib.Path(path).read_bytes()
+    offset = 0
+    for number, line in enumerate(raw.splitlines(keepends=True), start=1):
+        stripped = line.strip()
+        end = offset + len(line)
+        offset = end
+        if not stripped:
+            continue
+        record, reason = None, None
+        try:
+            record = json.loads(stripped.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            reason = "unparseable ({})".format(error.__class__.__name__)
+        else:
+            if not isinstance(record, dict):
+                record, reason = None, "not a JSON object"
+            elif record.get("crc") != record_crc(record):
+                record, reason = None, "checksum mismatch"
+        yield number, end, record, reason
+
+
 def replay(path):
     """Read a journal; return ``(records, good_bytes)``.
 
@@ -67,48 +118,65 @@ def replay(path):
     and excluded; a damaged line with intact records after it raises
     :class:`JournalCorrupt`.
     """
-    raw = pathlib.Path(path).read_bytes()
     records, good_bytes = [], 0
-    offset = 0
     bad = None  # (line_number, reason) of the first damaged line
-    for number, line in enumerate(raw.splitlines(keepends=True), start=1):
-        stripped = line.strip()
-        end = offset + len(line)
-        if stripped:
-            reason = None
-            try:
-                record = json.loads(stripped.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                reason = "unparseable ({})".format(error.__class__.__name__)
-            else:
-                if not isinstance(record, dict):
-                    reason = "not a JSON object"
-                elif record.get("crc") != record_crc(record):
-                    reason = "checksum mismatch"
-            if reason is not None:
-                if bad is None:
-                    bad = (number, reason)
-            elif bad is not None:
-                raise JournalCorrupt(
-                    "journal {} line {}: {} (intact records follow -- "
-                    "refusing to resume from a damaged journal)".format(
-                        path, bad[0], bad[1]
-                    ),
-                    line_number=bad[0],
-                )
-            else:
-                records.append(record)
-                good_bytes = end
-        offset = end
+    for number, end, record, reason in _scan(path):
+        if reason is not None:
+            if bad is None:
+                bad = (number, reason)
+        elif bad is not None:
+            raise JournalCorrupt(
+                "journal {} line {}: {} (intact records follow -- "
+                "refusing to resume from a damaged journal)".format(
+                    path, bad[0], bad[1]
+                ),
+                line_number=bad[0],
+                hint="run `repro campaign fsck {}` to quarantine the "
+                     "damaged journal and salvage completed units".format(
+                         path),
+            )
+        else:
+            records.append(record)
+            good_bytes = end
     return records, good_bytes
 
 
-class CampaignJournal:
-    """Append-only journal handle for one campaign."""
+def scavenge(path):
+    """Forgiving scan for fsck: return ``(records, damage, last_line)``.
 
-    def __init__(self, path):
+    Unlike :func:`replay`, damaged lines never raise -- each is reported
+    in ``damage`` as ``{"line", "reason"}`` and the scan keeps every
+    intact record found before *and after* it.  ``last_line`` is the
+    number of the final non-blank line, so callers can tell a torn tail
+    (single damage entry at ``last_line``) from mid-file corruption.
+    """
+    records, damage, last_line = [], [], 0
+    for number, _end, record, reason in _scan(path):
+        last_line = number
+        if reason is not None:
+            damage.append({"line": number, "reason": reason})
+        else:
+            records.append(record)
+    return records, damage, last_line
+
+
+class CampaignJournal:
+    """Append-only journal handle for one campaign.
+
+    ``faults`` (a :class:`repro.faults.FaultInjector`) is threaded into
+    every durable append.  When an append fails -- injected or real --
+    the journal repairs its own tail (truncating any torn prefix back to
+    the last sealed record), marks itself broken, and raises a typed
+    :class:`~repro.errors.JournalWriteError`; a broken journal refuses
+    further appends, so a dying fault domain can never interleave
+    half-records with good ones.
+    """
+
+    def __init__(self, path, faults=None):
         self.path = pathlib.Path(path)
+        self.faults = faults
         self._handle = None
+        self._broken = False
 
     def open(self):
         """Replay any existing journal, truncate a torn tail, open for
@@ -123,17 +191,58 @@ class CampaignJournal:
                     handle.flush()
                     os.fsync(handle.fileno())
         self._handle = open(self.path, "ab")
+        self._broken = False
         fsync_directory(self.path.parent)
         return records
 
     def append(self, record_type, **payload):
-        """Durably append one record; returns the sealed record."""
+        """Durably append one record; returns the sealed record.
+
+        On I/O failure the tail is repaired to the pre-append offset
+        and :class:`~repro.errors.JournalWriteError` is raised; the
+        journal is then broken and every later append raises too.
+        """
         if self._handle is None:
             raise CampaignError("journal is not open")
+        if self._broken:
+            raise JournalWriteError(
+                "journal {}: broken by an earlier write failure; "
+                "refusing to append".format(self.path),
+                path=self.path,
+            )
         record = {"type": record_type}
         record.update(payload)
-        append_durable(self._handle, seal(record))
+        try:
+            offset = self._handle.tell()
+        except OSError:
+            offset = None
+        try:
+            append_durable(self._handle, seal(record), faults=self.faults)
+        except OSError as error:
+            self._broken = True
+            if offset is not None:
+                self._repair_tail(offset)
+            raise JournalWriteError(
+                "journal {}: append failed: {}".format(self.path, error),
+                errno=getattr(error, "errno", None),
+                path=self.path,
+            ) from error
         return record
+
+    def _repair_tail(self, offset):
+        """Best-effort truncate back to the last sealed record, so a
+        torn prefix written by a failed append never reaches replay."""
+        try:
+            self._handle.flush()
+        except OSError:
+            pass
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass  # replay tolerates a torn tail anyway
 
     def close(self):
         if self._handle is not None:
@@ -147,14 +256,25 @@ class CampaignJournal:
         self.close()
 
 
+def _result_digest(result):
+    """SHA-256 of a unit result's canonical JSON (conflict detection)."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def fold_records(records):
     """Collapse a replayed record list into per-unit state.
 
     Returns ``(meta, units)`` where ``meta`` is the campaign-start
     payload (or None) plus a ``finished`` flag, and ``units`` maps
     unit id -> ``{"status", "attempts", "result", "reason"}``.  Replay
-    is idempotent: the *first* finish/skip of a unit wins, duplicates
-    are ignored.
+    is idempotent over *identical* duplicates: the first finish/skip of
+    a unit wins and byte-equal re-finishes (crash between append and
+    acknowledgement; a stolen unit finishing twice) are ignored.  Two
+    finishes that *disagree* -- same unit id, different result digest --
+    mean the determinism contract is broken somewhere upstream, and
+    raise :class:`~repro.errors.JournalConflict` rather than silently
+    keeping either answer.
     """
     meta = {"config": None, "finished": False}
     units = {}
@@ -190,12 +310,85 @@ def fold_records(records):
                 entry["reason"] = record.get("reason")
         elif kind == UNIT_FINISH:
             entry = state(record["unit"])
-            if entry["status"] not in ("done", "skipped"):
+            digest = _result_digest(record.get("result"))
+            if entry["status"] == "done":
+                if digest != entry.get("result_sha256"):
+                    raise JournalConflict(
+                        "unit {}: duplicate finish records disagree "
+                        "(result sha256 {} vs {}); the journal holds two "
+                        "different answers for one deterministic unit"
+                        .format(record["unit"],
+                                entry.get("result_sha256"), digest),
+                        unit=record["unit"],
+                    )
+            elif entry["status"] != "skipped":
                 entry["status"] = "done"
                 entry["result"] = record.get("result")
+                entry["result_sha256"] = digest
         elif kind == UNIT_SKIP:
             entry = state(record["unit"])
             if entry["status"] not in ("done", "skipped"):
                 entry["status"] = "skipped"
                 entry["reason"] = record.get("reason")
     return meta, units
+
+
+def fsck_journal(path, rebuild=False):
+    """Check -- and when needed quarantine -- one journal file.
+
+    Returns a report dict (``status`` of ``ok``, ``torn-tail``,
+    ``conflict`` or ``quarantined``).  A journal whose only damage is a
+    torn final line is healthy (replay repairs that on open) and is
+    left alone.  Mid-file damage quarantines the journal: it is renamed
+    to ``<path>.corrupt`` and an atomically-written salvage report at
+    ``<path>.salvage.json`` inventories every intact record and the
+    per-unit fold the next resume could recover.  With ``rebuild=True``
+    the salvaged records are additionally resealed into a fresh journal
+    at the original path, so ``repro campaign resume`` can pick the
+    campaign up minus only the damaged lines.
+    """
+    path = pathlib.Path(path)
+    records, damage, last_line = scavenge(path)
+    report = {
+        "schema": SALVAGE_SCHEMA,
+        "journal": str(path),
+        "records": len(records),
+        "damage": damage,
+        "status": "ok",
+    }
+    try:
+        meta, units = fold_records(records)
+    except JournalConflict as error:
+        report["status"] = "conflict"
+        report["conflict"] = str(error)
+        return report
+    statuses = [entry["status"] for entry in units.values()]
+    report["units"] = {
+        "done": statuses.count("done"),
+        "skipped": statuses.count("skipped"),
+        "incomplete": sum(
+            1 for s in statuses if s not in ("done", "skipped")
+        ),
+    }
+    report["finished"] = meta["finished"]
+    if not damage:
+        return report
+    if len(damage) == 1 and damage[0]["line"] == last_line:
+        # a torn tail is normal crash debris; replay truncates it
+        report["status"] = "torn-tail"
+        return report
+    # mid-file damage: quarantine the journal, salvage what is intact
+    quarantined_to = str(path) + ".corrupt"
+    os.replace(path, quarantined_to)
+    fsync_directory(path.parent)
+    report["status"] = "quarantined"
+    report["quarantined_to"] = quarantined_to
+    if rebuild:
+        lines = [
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in records
+        ]
+        write_atomic(path, "".join(lines))
+        report["rebuilt"] = str(path)
+    write_json_atomic(str(path) + ".salvage.json", report)
+    return report

@@ -38,6 +38,7 @@ import signal
 import tempfile
 import threading
 import time
+import zlib
 
 from concurrent.futures.process import BrokenProcessPool
 
@@ -132,13 +133,16 @@ class SupervisedPool:
     beat interval and ``stale_after_s`` (default ``10 * heartbeat_s``,
     floored at :data:`STALE_AFTER_S`) the silence that counts as frozen;
     ``max_retries`` bounds charged re-launches per unit, spaced by
-    ``backoff_base_s * 2**(attempt-1)``; ``tick_s`` is the supervision
-    loop's poll interval (latency/CPU trade-off, no effect on results).
+    ``backoff_base_s * 2**(attempt-1)`` -- stretched by seeded jitter
+    when ``seed`` is given (see :meth:`_backoff_s`); ``tick_s`` is the
+    supervision loop's poll interval (latency/CPU trade-off, no effect
+    on results); ``faults`` lets an infra fault injector skew the clock
+    the heartbeat watchdog reads through.
     """
 
     def __init__(self, jobs=1, watchdog_s=None, heartbeat_s=0.25,
                  stale_after_s=None, max_retries=0, backoff_base_s=0.05,
-                 tick_s=0.1):
+                 tick_s=0.1, seed=None, faults=None):
         self.jobs = max(1, jobs)
         self.watchdog_s = watchdog_s
         self.heartbeat_s = heartbeat_s
@@ -148,11 +152,15 @@ class SupervisedPool:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.tick_s = tick_s
+        #: campaign seed for reproducible retry jitter (None = no jitter)
+        self.seed = seed
+        #: fault injector whose clock-skew draws taint heartbeat reads
+        self.faults = faults
 
     # -- public entry ----------------------------------------------------------
 
     def run(self, units, worker, deadline=None, on_start=None,
-            on_finish=None, on_retry=None, on_skip=None):
+            on_finish=None, on_retry=None, on_skip=None, feed=None):
         """Run ``(unit_id, payload)`` pairs; return {unit_id: PoolOutcome}.
 
         Callbacks (all optional) fire in the parent, in submission
@@ -160,6 +168,15 @@ class SupervisedPool:
         ``on_start(unit_id, attempt)``, ``on_finish(unit_id, outcome)``,
         ``on_retry(unit_id, attempt, reason)``, ``on_skip(unit_id,
         reason)``.
+
+        ``feed`` (optional) is an incremental work source: called as
+        ``feed(room)`` whenever the pool has capacity, it returns up to
+        ``room`` more ``(unit_id, payload)`` pairs, an empty list when
+        nothing is available *right now* (the pool keeps polling -- how
+        a shard waits for stealable work), or None when the source is
+        exhausted for good.  The initial ``units`` list still runs
+        first; a shard passes ``units=[]`` and lives entirely off its
+        coordinator's feed.
         """
         results = {}
         queue = collections.deque(_Task(uid, payload)
@@ -167,9 +184,26 @@ class SupervisedPool:
         waiting = []
         in_flight = {}
         executor = None
+        exhausted = feed is None
         beat_dir = tempfile.mkdtemp(prefix="repro-pool-")
         try:
-            while queue or waiting or in_flight:
+            while True:
+                if not exhausted:
+                    room = 2 * self.jobs - (
+                        len(queue) + len(waiting) + len(in_flight)
+                    )
+                    if room > 0:
+                        batch = feed(room)
+                        if batch is None:
+                            exhausted = True
+                        else:
+                            queue.extend(_Task(uid, payload)
+                                         for uid, payload in batch)
+                if not (queue or waiting or in_flight):
+                    if exhausted:
+                        break
+                    time.sleep(self.tick_s)
+                    continue
                 now = time.monotonic()
                 ripe = [t for t in waiting if t.eligible_at <= now]
                 waiting = [t for t in waiting if t.eligible_at > now]
@@ -216,7 +250,10 @@ class SupervisedPool:
                             - time.monotonic()
                         time.sleep(max(0.0, min(pause, self.tick_s)))
                         continue
-                    break
+                    if exhausted:
+                        break
+                    time.sleep(self.tick_s)
+                    continue
 
                 done, __ = concurrent.futures.wait(
                     list(in_flight), timeout=self.tick_s,
@@ -270,6 +307,24 @@ class SupervisedPool:
 
     # -- supervision internals -------------------------------------------------
 
+    def _backoff_s(self, unit_id, attempts):
+        """Backoff before launch ``attempts + 1`` of ``unit_id``.
+
+        The base schedule is exponential; with a ``seed`` the delay is
+        stretched by a jitter factor in ``[1, 2)`` that is a pure
+        function of ``(seed, unit_id, attempts)`` -- two runs of the
+        same campaign seed produce the same retry schedule (and hence
+        the same journal timings bucket-for-bucket), while different
+        units no longer thunder in lockstep.
+        """
+        delay = self.backoff_base_s * (2 ** (attempts - 1))
+        if self.seed is None:
+            return delay
+        draw = zlib.crc32(
+            "{}:{}:{}".format(self.seed, unit_id, attempts).encode("utf-8")
+        ) / float(0xFFFFFFFF)
+        return delay * (1.0 + draw)
+
     def _spawn(self):
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.jobs
@@ -303,12 +358,15 @@ class SupervisedPool:
             if beat is None:
                 continue  # queued inside the executor, not started yet
             pid, started_at, last_beat = beat
+            # an injected clock skew ages the beat artificially: the
+            # supervisor judges a healthy worker through a bad clock
+            skew = self.faults.heartbeat_skew() if self.faults else 0.0
             if self.watchdog_s is not None \
                     and now_mono - started_at > self.watchdog_s:
                 task.kill_reason = (
                     "watchdog timeout after {:g}s".format(self.watchdog_s)
                 )
-            elif now_wall - last_beat > self.stale_after_s:
+            elif now_wall - last_beat + skew > self.stale_after_s:
                 task.kill_reason = "heartbeat went stale"
             else:
                 continue
@@ -366,8 +424,9 @@ class SupervisedPool:
                 if on_finish is not None:
                     on_finish(task.id, outcome)
             else:
-                task.eligible_at = now + self.backoff_base_s \
-                    * (2 ** (task.attempts - 1))
+                task.eligible_at = now + self._backoff_s(
+                    task.id, task.attempts
+                )
                 waiting.append(task)
                 if on_retry is not None:
                     on_retry(task.id, task.attempts, reason)

@@ -90,6 +90,111 @@ def _run_unit(path):
     return _run_scenario_guarded(path).as_dict()
 
 
+def verify_unit_digests(units):
+    """Refuse to resume over scenario files that changed underneath us."""
+    for unit in units:
+        path = pathlib.Path(unit["path"])
+        if not path.exists():
+            raise CampaignError(
+                "scenario {} vanished since the campaign started"
+                .format(path)
+            )
+        if _sha256_file(path) != unit["sha256"]:
+            raise CampaignError(
+                "scenario {} changed since the campaign started "
+                "(config digest mismatch); resuming would mix "
+                "results from two different configurations"
+                .format(path)
+            )
+
+
+def outcome_result(unit_id, outcome):
+    """Map a pool outcome to the result dict a unit-finish journals.
+
+    Returns ``(result, degraded)``: the scenario-result dict (with the
+    deadline degradation applied to late finishes, and a deterministic
+    synthetic failure for lost units) and whether degradation happened.
+    Shared by the single-pool runner and the sharded fabric so both
+    journal byte-identical finish records for identical outcomes.
+    """
+    if outcome.status == OK:
+        result = outcome.value
+        if outcome.late:
+            result = ScenarioResult.from_dict(result) \
+                .degrade("deadline").as_dict()
+            return result, True
+        return result, False
+    result = ScenarioResult(
+        unit_id, False, {"error": outcome.detail},
+        ["unit lost: {}".format(outcome.detail)],
+    ).as_dict()
+    return result, False
+
+
+def build_store(config, folded, wall_elapsed_s):
+    """Serialize journal-folded state into the versioned result store.
+
+    Both the clean and the resumed path -- and both the single-pool and
+    the sharded runner -- call this on a fresh replay of the journal(s),
+    so the stores they write are byte-comparable apart from the two
+    wall-clock stamps at the bottom.  Only *stable* config fields enter
+    the campaign block: shard count, seed and fault-profile name are
+    part of the campaign's identity, but live shard state never is.
+    """
+    units_out = []
+    counts = {"passed": 0, "failed": 0, "skipped": 0, "degraded": 0}
+    for unit in config["units"]:
+        entry = folded.get(unit["id"]) or {"status": "pending"}
+        out = {
+            "id": unit["id"],
+            "seed": unit["seed"],
+            "chaos": unit["chaos"],
+        }
+        if entry["status"] == "done":
+            result = entry["result"]
+            out["status"] = "PASS" if result["passed"] else "FAIL"
+            out["name"] = result["name"]
+            out["observations"] = result["observations"]
+            out["violations"] = result["violations"]
+            out["chaos_digest"] = result.get("chaos_digest")
+            out["degraded"] = result.get("degraded")
+            counts["passed" if result["passed"] else "failed"] += 1
+            if result.get("degraded"):
+                counts["degraded"] += 1
+        elif entry["status"] == "skipped":
+            out["status"] = "SKIPPED"
+            out["reason"] = entry.get("reason")
+            counts["skipped"] += 1
+        else:
+            out["status"] = "INCOMPLETE"
+            counts["failed"] += 1
+        units_out.append(out)
+    campaign = {
+        "directory": config["directory"],
+        "watchdog_s": config["watchdog_s"],
+        "max_retries": config["max_retries"],
+        "units": len(config["units"]),
+    }
+    for key in ("seed", "shards"):
+        if config.get(key) is not None:
+            campaign[key] = config[key]
+    profile = config.get("fault_profile")
+    if profile is not None:
+        campaign["fault_profile"] = profile.get("name") \
+            if isinstance(profile, dict) else profile
+    return {
+        "schema": RESULT_SCHEMA,
+        "campaign": campaign,
+        "units": units_out,
+        "summary": counts,
+        # the only wall-clock fields; determinism checks strip them
+        "generated_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "wall_elapsed_s": round(wall_elapsed_s, 3),
+    }
+
+
 class CampaignReport:
     """What a finished (or resumed-to-finished) campaign hands back."""
 
@@ -129,13 +234,14 @@ class CampaignRunner:
     def __init__(self, journal_path, directory=None, jobs=1,
                  watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
                  max_retries=DEFAULT_MAX_RETRIES, store_path=None,
-                 trace_path=None):
+                 trace_path=None, seed=0):
         self.journal = CampaignJournal(journal_path)
         self.directory = directory
         self.jobs = max(1, jobs)
         self.watchdog_s = watchdog_s
         self.deadline_s = deadline_s
         self.max_retries = max_retries
+        self.seed = seed
         if store_path is None:
             store_path = pathlib.Path(journal_path).with_suffix(
                 ".results.json"
@@ -203,6 +309,7 @@ class CampaignRunner:
             self._verify_unit_digests(config["units"])
             self.watchdog_s = config.get("watchdog_s", self.watchdog_s)
             self.max_retries = config.get("max_retries", self.max_retries)
+            self.seed = config.get("seed", self.seed)
             if self.deadline_s is None:
                 self.deadline_s = config.get("deadline_s")
         else:
@@ -216,6 +323,7 @@ class CampaignRunner:
                 "watchdog_s": self.watchdog_s,
                 "deadline_s": self.deadline_s,
                 "max_retries": self.max_retries,
+                "seed": self.seed,
                 "units": plan_units(self.directory),
             }
             self._journal_append(wal.CAMPAIGN_START, **config)
@@ -236,7 +344,7 @@ class CampaignRunner:
             if pending:
                 pool = SupervisedPool(
                     jobs=self.jobs, watchdog_s=self.watchdog_s,
-                    max_retries=self.max_retries,
+                    max_retries=self.max_retries, seed=self.seed,
                 )
                 pool.run(
                     [(unit["id"], unit["path"]) for unit in pending],
@@ -263,20 +371,7 @@ class CampaignRunner:
         return CampaignReport(store, self.store_path)
 
     def _verify_unit_digests(self, units):
-        for unit in units:
-            path = pathlib.Path(unit["path"])
-            if not path.exists():
-                raise CampaignError(
-                    "scenario {} vanished since the campaign started"
-                    .format(path)
-                )
-            if _sha256_file(path) != unit["sha256"]:
-                raise CampaignError(
-                    "scenario {} changed since the campaign started "
-                    "(config digest mismatch); resuming would mix "
-                    "results from two different configurations"
-                    .format(path)
-                )
+        verify_unit_digests(units)
 
     def _journal_append(self, kind, **fields):
         """Journal one record, timing the durable append when traced.
@@ -319,20 +414,12 @@ class CampaignRunner:
         self._journal_append(wal.UNIT_SKIP, unit=unit_id, reason=reason)
 
     def _on_finish(self, unit_id, outcome):
-        if outcome.status == OK:
-            result = outcome.value
-            if outcome.late:
-                result = ScenarioResult.from_dict(result) \
-                    .degrade("deadline").as_dict()
-                self.obs.event("degradation", unit=unit_id,
-                               reason="deadline")
-                if self.obs.enabled:
-                    self.obs.metrics.inc("campaign.units_degraded")
-        else:
-            result = ScenarioResult(
-                unit_id, False, {"error": outcome.detail},
-                ["unit lost: {}".format(outcome.detail)],
-            ).as_dict()
+        result, degraded = outcome_result(unit_id, outcome)
+        if degraded:
+            self.obs.event("degradation", unit=unit_id,
+                           reason="deadline")
+            if self.obs.enabled:
+                self.obs.metrics.inc("campaign.units_degraded")
         self.obs.event("unit-finish", unit=unit_id,
                        attempt=outcome.attempts - 1,
                        passed=bool(result.get("passed")))
@@ -345,53 +432,4 @@ class CampaignRunner:
 
     @staticmethod
     def _build_store(config, folded, wall_elapsed_s):
-        """Serialize journal-folded state into the versioned result store.
-
-        Both the clean and the resumed path call this on a fresh replay
-        of the journal, so the stores they write are byte-comparable
-        apart from the two wall-clock stamps at the bottom.
-        """
-        units_out = []
-        counts = {"passed": 0, "failed": 0, "skipped": 0, "degraded": 0}
-        for unit in config["units"]:
-            entry = folded.get(unit["id"]) or {"status": "pending"}
-            out = {
-                "id": unit["id"],
-                "seed": unit["seed"],
-                "chaos": unit["chaos"],
-            }
-            if entry["status"] == "done":
-                result = entry["result"]
-                out["status"] = "PASS" if result["passed"] else "FAIL"
-                out["name"] = result["name"]
-                out["observations"] = result["observations"]
-                out["violations"] = result["violations"]
-                out["chaos_digest"] = result.get("chaos_digest")
-                out["degraded"] = result.get("degraded")
-                counts["passed" if result["passed"] else "failed"] += 1
-                if result.get("degraded"):
-                    counts["degraded"] += 1
-            elif entry["status"] == "skipped":
-                out["status"] = "SKIPPED"
-                out["reason"] = entry.get("reason")
-                counts["skipped"] += 1
-            else:
-                out["status"] = "INCOMPLETE"
-                counts["failed"] += 1
-            units_out.append(out)
-        return {
-            "schema": RESULT_SCHEMA,
-            "campaign": {
-                "directory": config["directory"],
-                "watchdog_s": config["watchdog_s"],
-                "max_retries": config["max_retries"],
-                "units": len(config["units"]),
-            },
-            "units": units_out,
-            "summary": counts,
-            # the only wall-clock fields; determinism checks strip them
-            "generated_at": time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-            ),
-            "wall_elapsed_s": round(wall_elapsed_s, 3),
-        }
+        return build_store(config, folded, wall_elapsed_s)

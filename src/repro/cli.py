@@ -20,6 +20,7 @@ system without writing code:
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -398,15 +399,17 @@ def _print_campaign_report(report):
 
 
 def cmd_campaign(args):
-    from repro.campaign import CampaignRunner
+    from repro.campaign import CampaignRunner, ShardedCampaignRunner
+    from repro.campaign.coordinator import campaign_status
     from repro.errors import CampaignError
 
     if args.verb == "status":
-        runner = CampaignRunner(args.journal)
-        meta, folded = runner.status()
+        meta, folded = campaign_status(args.journal)
         config = meta["config"]
-        print("campaign : {} ({} units{})".format(
+        shards = config.get("shards")
+        print("campaign : {} ({} units{}{})".format(
             config["directory"], len(config["units"]),
+            ", {} shards".format(shards) if shards else "",
             ", finished" if meta["finished"] else ""))
         for unit in config["units"]:
             entry = folded.get(unit["id"]) or {"status": "pending",
@@ -419,6 +422,9 @@ def cmd_campaign(args):
                 detail))
         return 0
 
+    if args.verb == "fsck":
+        return _cmd_campaign_fsck(args)
+
     if args.verb == "resume":
         import os as _os
 
@@ -427,17 +433,72 @@ def cmd_campaign(args):
                 "no journal at {}; start one with `repro campaign run`"
                 .format(args.journal)
             )
-        runner = CampaignRunner(args.journal, jobs=args.jobs,
-                                store_path=args.out)
+        meta, __ = campaign_status(args.journal)
+        if meta["config"].get("shards"):
+            runner = ShardedCampaignRunner(args.journal, jobs=args.jobs,
+                                           store_path=args.out)
+        else:
+            runner = CampaignRunner(args.journal, jobs=args.jobs,
+                                    store_path=args.out)
         return _print_campaign_report(runner.run(resume=True))
 
-    runner = CampaignRunner(
-        args.journal, directory=args.directory, jobs=args.jobs,
-        watchdog_s=args.watchdog, deadline_s=args.deadline,
-        max_retries=args.max_retries, store_path=args.out,
-        trace_path=args.trace,
-    )
+    if args.shards > 1 or args.fault_profile is not None:
+        runner = ShardedCampaignRunner(
+            args.journal, directory=args.directory, shards=args.shards,
+            jobs=args.jobs, watchdog_s=args.watchdog,
+            deadline_s=args.deadline, max_retries=args.max_retries,
+            store_path=args.out, trace_path=args.trace, seed=args.seed,
+            fault_profile=args.fault_profile,
+        )
+    else:
+        runner = CampaignRunner(
+            args.journal, directory=args.directory, jobs=args.jobs,
+            watchdog_s=args.watchdog, deadline_s=args.deadline,
+            max_retries=args.max_retries, store_path=args.out,
+            trace_path=args.trace, seed=args.seed,
+        )
     return _print_campaign_report(runner.run(resume=args.resume))
+
+
+def _cmd_campaign_fsck(args):
+    """Check a campaign journal (and any shard siblings); quarantine
+    mid-file corruption and write salvage reports."""
+    import pathlib as _pathlib
+
+    from repro.campaign import fsck_journal
+    from repro.errors import CampaignError
+
+    base = _pathlib.Path(args.journal)
+    if not base.exists():
+        raise CampaignError("no journal at {}".format(base))
+    # a sharded campaign's shard journals sit next to the coordinator's;
+    # glob rather than trust the (possibly corrupt) campaign-start record
+    targets = [base] + sorted(
+        base.parent.glob("{}.shard-*{}".format(base.stem, base.suffix))
+    )
+    worst = 0
+    for path in targets:
+        report = fsck_journal(path, rebuild=args.rebuild)
+        line = "{:<12} {}  ({} records".format(
+            report["status"], path, report["records"])
+        if report.get("units"):
+            line += ", {done} done / {skipped} skipped / "\
+                "{incomplete} incomplete".format(**report["units"])
+        line += ")"
+        print(line)
+        for entry in report["damage"]:
+            print("  line {line}: {reason}".format(**entry))
+        if report["status"] == "quarantined":
+            print("  quarantined to {}".format(report["quarantined_to"]))
+            print("  salvage report: {}.salvage.json".format(path))
+            if report.get("rebuilt"):
+                print("  rebuilt {} from {} intact records".format(
+                    report["rebuilt"], report["records"]))
+            worst = 1
+        elif report["status"] == "conflict":
+            print("  {}".format(report["conflict"]))
+            worst = 1
+    return worst
 
 
 def cmd_trace(args):
@@ -620,6 +681,19 @@ def build_parser():
                    help="retry budget per unit for killed/hung workers")
     v.add_argument("--resume", action="store_true",
                    help="resume the journal if it already exists")
+    v.add_argument("--shards", type=int, default=1,
+                   help="shard the campaign into N fault domains, each "
+                        "with its own journal and worker pool "
+                        "(work-stealing, quarantine on shard death)")
+    v.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: reproducible retry jitter and "
+                        "fault-injection draws")
+    v.add_argument("--fault-profile", default=None, metavar="PROFILE",
+                   help="inject infrastructure faults into the shard "
+                        "journals and pools: a registry name (none, "
+                        "default, disk-full, flaky-disk, liar-disk, "
+                        "skewed-clock, hostile-infra) or a JSON profile "
+                        "path; implies the sharded runner")
     _add_trace(v)
     v.set_defaults(func=cmd_campaign, verb="run")
 
@@ -635,6 +709,17 @@ def build_parser():
         "status", help="inspect a campaign journal without running it")
     v.add_argument("journal")
     v.set_defaults(func=cmd_campaign, verb="status")
+
+    v = verbs.add_parser(
+        "fsck",
+        help="check journal integrity; quarantine mid-file corruption "
+             "(renames to *.corrupt, writes a salvage report)")
+    v.add_argument("journal")
+    v.add_argument("--rebuild", action="store_true",
+                   help="after quarantining, reseal the salvaged "
+                        "records into a fresh journal so the campaign "
+                        "can resume minus the damaged lines")
+    v.set_defaults(func=cmd_campaign, verb="fsck")
 
     p = subparsers.add_parser(
         "trace", help="inspect repro-trace/v1 JSONL traces")
@@ -666,12 +751,22 @@ def main(argv=None):
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer went away (status | head, | grep -q): not an
+        # error, but Python would print a traceback at teardown unless
+        # the dangling descriptor is replaced first
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except ReproError as error:
         # structured failure record: one JSON line on stderr, no traceback
-        print(json.dumps({
+        record = {
             "error": type(error).__name__,
             "message": str(error),
-        }), file=sys.stderr)
+        }
+        if getattr(error, "hint", None):
+            record["hint"] = error.hint
+        print(json.dumps(record), file=sys.stderr)
         return 2
 
 

@@ -87,10 +87,54 @@ class JournalCorrupt(CampaignError):
     silently truncated on replay; a record that fails its checksum (or
     will not parse) *mid-file* means the journal was edited or the disk
     lied, and resuming from it would silently drop completed work.
+    ``hint`` (when set) names the recovery verb -- ``repro campaign
+    fsck`` quarantines the damaged file and salvages the intact
+    records -- and is surfaced in the CLI's structured JSON error.
     """
 
-    def __init__(self, message, line_number=None):
+    def __init__(self, message, line_number=None, hint=None):
         self.line_number = line_number
+        self.hint = hint
+        super().__init__(message)
+
+
+class JournalConflict(CampaignError):
+    """Two journaled finishes disagree about the same unit.
+
+    Duplicate ``unit-finish`` records are expected (a crash between the
+    append and its acknowledgement replays as two identical finishes)
+    and replay keeps the first.  Two finishes with *different* result
+    digests, however, mean the journal mixes two different
+    configurations -- or a corrupted record slipped past its checksum --
+    and picking whichever landed first would silently serve wrong
+    results.
+    """
+
+    def __init__(self, message, unit=None):
+        self.unit = unit
+        super().__init__(message)
+
+
+class JournalWriteError(CampaignError):
+    """A durable journal append failed (disk full, I/O error, torn write).
+
+    The journal repairs its tail back to the last intact record and
+    refuses further appends; the owning fault domain (a campaign shard)
+    is quarantined and its pending work re-assigned, rather than risking
+    a half-written record being replayed as state.
+    """
+
+    def __init__(self, message, errno=None, path=None):
+        self.errno = errno
+        self.path = str(path) if path is not None else None
+        super().__init__(message)
+
+
+class ShardError(CampaignError):
+    """A campaign shard (one fault domain) failed and was quarantined."""
+
+    def __init__(self, message, shard=None):
+        self.shard = shard
         super().__init__(message)
 
 

@@ -1,0 +1,16 @@
+"""Infrastructure fault injection: chaos for the durability stack.
+
+* :mod:`repro.faults.profiles` -- the fault vocabulary (ENOSPC, EIO,
+  torn writes, lying fsync, slow-disk stalls, heartbeat clock skew) and
+  the named rate profiles;
+* :mod:`repro.faults.injector` -- the seeded injector the journal, the
+  atomic writers and the supervised pool route their I/O through.
+"""
+
+from repro.faults.injector import FaultInjected, FaultInjector  # noqa: F401
+from repro.faults.profiles import (  # noqa: F401
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultProfile,
+    get_fault_profile,
+)

@@ -1,0 +1,203 @@
+"""Seeded infrastructure fault injection for the durability stack.
+
+A :class:`FaultInjector` sits between the campaign's durable writers
+(:func:`repro.ioutil.append_durable`, the journal, the worker pool's
+heartbeat watchdog) and the operating system, and makes the I/O lie the
+way real infrastructure lies: appends fail with ``ENOSPC``/``EIO``,
+land torn at a chosen byte offset, fsyncs report success without
+persisting, the disk stalls, the heartbeat clock skews.
+
+Two properties make the injector usable in determinism-sensitive
+campaigns:
+
+* **seeded draws** -- whether operation *n* of kind *k* fires is a pure
+  function of ``(seed, k, n)`` (a SHA-256 draw against the profile
+  rate), so a given injector misbehaves identically on every replay of
+  the same operation sequence;
+* **results are never touched** -- faults hit journals, fsyncs and
+  heartbeats, not scenario execution, so a campaign that survives the
+  faults produces the byte-identical result store of a fault-free run.
+
+The injector also keeps a ``fired`` log and calls an optional
+``on_fire`` hook, which the shard coordinator wires into the
+observability layer (``fault`` events, per-kind counters).
+"""
+
+import errno as errno_mod
+import hashlib
+import os
+import time
+
+from repro.faults.profiles import get_fault_profile
+
+
+class FaultInjected(OSError):
+    """An OSError raised by the injector (telling tests apart from the
+    real thing); ``kind`` names the fault that fired."""
+
+    def __init__(self, kind, errno, message):
+        self.kind = kind
+        super().__init__(errno, message)
+
+
+class FaultInjector:
+    """Profile-driven, seeded fault injection for one fault domain.
+
+    One injector guards one fault domain (one shard's journal + pool),
+    so its draw counters and its sticky disk-full flag never leak
+    between domains.  ``seed`` pins the draw sequence; ``on_fire`` (if
+    given) is called as ``on_fire(kind, **detail)`` every time a fault
+    fires.
+    """
+
+    def __init__(self, profile, seed=0, on_fire=None):
+        self.profile = get_fault_profile(profile)
+        self.seed = seed
+        self.on_fire = on_fire
+        #: chronological log of fired faults (dicts with a ``kind`` key)
+        self.fired = []
+        self._counters = {}
+        self._disk_full = False
+        # per-path durability tracking for the lying fsync: the byte
+        # size up to which the file contents truly reached the platter
+        self._durable = {}
+        self._pending = {}
+
+    # -- seeded draws ----------------------------------------------------------
+
+    def _chance(self, kind):
+        """The n-th uniform draw for ``kind``: pure in (seed, kind, n)."""
+        n = self._counters.get(kind, 0)
+        self._counters[kind] = n + 1
+        digest = hashlib.sha256(
+            "{}:{}:{}".format(self.seed, kind, n).encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _fires(self, kind):
+        rate = self.profile.rates.get(kind, 0.0)
+        return rate > 0.0 and self._chance(kind) < rate
+
+    def _fire(self, kind, **detail):
+        record = {"kind": kind}
+        record.update(detail)
+        self.fired.append(record)
+        if self.on_fire is not None:
+            self.on_fire(kind, **detail)
+
+    # -- hooks called by repro.ioutil ------------------------------------------
+
+    def before_append(self, handle, data):
+        """Gate one durable append; may raise, may write a torn prefix."""
+        path = getattr(handle, "name", None)
+        if isinstance(path, str):
+            try:
+                self._pending[path] = handle.tell()
+            except OSError:
+                pass
+        if self._fires("stall"):
+            self._fire("stall", path=path, seconds=self.profile.stall_s)
+            time.sleep(self.profile.stall_s)
+        if self._disk_full or self._fires("enospc"):
+            if self.profile.enospc_sticky:
+                self._disk_full = True
+            self._fire("enospc", path=path)
+            raise FaultInjected(
+                "enospc", errno_mod.ENOSPC,
+                "no space left on device (injected)",
+            )
+        if self._fires("eio"):
+            self._fire("eio", path=path)
+            raise FaultInjected(
+                "eio", errno_mod.EIO, "I/O error (injected)",
+            )
+        if self._fires("torn"):
+            keep = 1 + int(self._chance("torn-offset")
+                           * max(1, len(data) - 1))
+            keep = min(keep, max(1, len(data) - 1))
+            handle.write(data[:keep])
+            handle.flush()
+            self._fire("torn", path=path, wrote=keep, of=len(data))
+            raise FaultInjected(
+                "torn", errno_mod.EIO,
+                "torn write: {} of {} bytes reached the device "
+                "(injected)".format(keep, len(data)),
+            )
+        return None
+
+    def fsync(self, handle):
+        """Fsync ``handle`` -- or lie about it, per the profile."""
+        path = getattr(handle, "name", None)
+        if self._fires("fsync_lie"):
+            if isinstance(path, str) and path not in self._durable:
+                pending = self._pending.get(path)
+                if pending is not None:
+                    self._durable[path] = pending
+            self._fire("fsync_lie", path=path)
+            return
+        os.fsync(handle.fileno())
+        if isinstance(path, str):
+            try:
+                self._durable[path] = handle.tell()
+            except OSError:
+                pass
+
+    def before_write(self, path, data):
+        """Gate one atomic replace-on-write (store/report writers)."""
+        if self._fires("stall"):
+            self._fire("stall", path=os.fspath(path),
+                       seconds=self.profile.stall_s)
+            time.sleep(self.profile.stall_s)
+        if self._disk_full or self._fires("enospc"):
+            if self.profile.enospc_sticky:
+                self._disk_full = True
+            self._fire("enospc", path=os.fspath(path))
+            raise FaultInjected(
+                "enospc", errno_mod.ENOSPC,
+                "no space left on device (injected)",
+            )
+        if self._fires("eio"):
+            self._fire("eio", path=os.fspath(path))
+            raise FaultInjected(
+                "eio", errno_mod.EIO, "I/O error (injected)",
+            )
+        return None
+
+    # -- hooks called by the supervised pool -----------------------------------
+
+    def heartbeat_skew(self):
+        """Seconds of backwards clock skew for one heartbeat read."""
+        if self._fires("hb_skew"):
+            self._fire("hb_skew", seconds=self.profile.skew_s)
+            return self.profile.skew_s
+        return 0.0
+
+    # -- test/forensics helpers ------------------------------------------------
+
+    def fired_kinds(self):
+        """The set of fault kinds that have fired so far."""
+        return {record["kind"] for record in self.fired}
+
+    def simulate_power_loss(self):
+        """Cut the power after a lying fsync: truncate every file with
+        un-persisted appends back to its last truly durable size.
+
+        Returns ``{path: bytes_lost}`` for the files that lost data --
+        exactly what a real power cut would take from a disk whose
+        write cache lied.  Replay then sees a shorter (or torn) journal
+        and the campaign re-runs the lost units; nothing is silently
+        wrong, some work is simply not durable.
+        """
+        lost = {}
+        for path, durable in sorted(self._durable.items()):
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size > durable:
+                with open(path, "r+b") as handle:
+                    handle.truncate(durable)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                lost[path] = size - durable
+        return lost

@@ -1,0 +1,190 @@
+"""Infrastructure fault profiles: what the durability stack must survive.
+
+Where :mod:`repro.chaos` perturbs the *microarchitecture* an attack
+measures, a fault profile perturbs the *infrastructure* a campaign runs
+on: the disk under the write-ahead journal, the fsync the journal
+trusts, the wall clock the worker heartbeats are judged against.  A
+profile is a named set of per-operation firing rates plus the fault
+parameters (stall length, clock-skew magnitude, whether a full disk
+stays full); the :class:`~repro.faults.injector.FaultInjector` draws
+from it deterministically per campaign seed.
+
+The fault vocabulary:
+
+* ``enospc``  -- a journal append fails with ``ENOSPC`` (disk full);
+  with ``enospc_sticky`` the disk *stays* full for that fault domain;
+* ``eio``     -- a journal append fails with ``EIO`` before any byte
+  lands;
+* ``torn``    -- a journal append writes a chosen prefix of the record
+  and then fails: the classic torn write the tail-repair and replay
+  paths must contain;
+* ``fsync_lie`` -- the fsync reports success without persisting; the
+  data is lost if power is cut before a later honest fsync
+  (:meth:`FaultInjector.simulate_power_loss` cuts it);
+* ``stall``   -- a slow-disk stall of ``stall_s`` seconds before the
+  append;
+* ``hb_skew`` -- the supervisor reads a worker heartbeat through a
+  clock skewed ``skew_s`` seconds into the past, making a healthy
+  worker look frozen.
+
+Profiles are registered in :data:`FAULT_PROFILES`;
+:func:`get_fault_profile` also accepts a path to a JSON file with the
+same fields, so a campaign can ship a bespoke fault matrix next to its
+scenarios.
+"""
+
+import json
+import os
+
+from repro.errors import ConfigError
+
+#: the closed fault-kind vocabulary
+FAULT_KINDS = ("enospc", "eio", "torn", "fsync_lie", "stall", "hb_skew")
+
+
+class FaultProfile:
+    """A named, serializable infrastructure-fault mix.
+
+    ``rates`` maps fault kind to the probability that one I/O operation
+    (a journal append; one heartbeat read for ``hb_skew``) fires that
+    fault.  ``shards`` (optional) restricts injection to the listed
+    shard indices -- the way tests aim a dead disk at exactly one fault
+    domain.  Instances are immutable in spirit: the coordinator journals
+    :meth:`as_dict` into its campaign-start record so a resume rebuilds
+    the same profile without re-reading any profile file.
+    """
+
+    __slots__ = ("name", "description", "rates", "stall_s", "skew_s",
+                 "enospc_sticky", "shards")
+
+    def __init__(self, name, description, rates=None, stall_s=0.005,
+                 skew_s=30.0, enospc_sticky=True, shards=None):
+        rates = dict(rates or {})
+        unknown = sorted(set(rates) - set(FAULT_KINDS))
+        if unknown:
+            raise ConfigError(
+                "fault profile {!r}: unknown fault kind(s) {}; known: {}"
+                .format(name, ", ".join(unknown), ", ".join(FAULT_KINDS))
+            )
+        for kind, rate in rates.items():
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ConfigError(
+                    "fault profile {!r}: rate for {} must be in [0, 1], "
+                    "got {!r}".format(name, kind, rate)
+                )
+        self.name = name
+        self.description = description
+        self.rates = {k: float(rates.get(k, 0.0)) for k in FAULT_KINDS}
+        self.stall_s = float(stall_s)
+        self.skew_s = float(skew_s)
+        self.enospc_sticky = bool(enospc_sticky)
+        self.shards = tuple(shards) if shards is not None else None
+
+    @property
+    def active_kinds(self):
+        """The fault kinds with a non-zero rate, sorted."""
+        return [k for k in FAULT_KINDS if self.rates[k] > 0.0]
+
+    def applies_to(self, shard_index):
+        """True when this profile injects into the given shard."""
+        return self.shards is None or shard_index in self.shards
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rates": {k: v for k, v in self.rates.items() if v > 0.0},
+            "stall_s": self.stall_s,
+            "skew_s": self.skew_s,
+            "enospc_sticky": self.enospc_sticky,
+            "shards": list(self.shards) if self.shards is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        name = data.pop("name", "custom")
+        description = data.pop("description", "custom fault profile")
+        known = ("rates", "stall_s", "skew_s", "enospc_sticky", "shards")
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ConfigError(
+                "fault profile {!r}: unknown field(s) {}".format(
+                    name, ", ".join(unknown)
+                )
+            )
+        kwargs = {k: data[k] for k in known if data.get(k) is not None}
+        return cls(name, description, **kwargs)
+
+    def __repr__(self):
+        return "FaultProfile({!r}, active={})".format(
+            self.name, self.active_kinds
+        )
+
+
+#: the registry `repro campaign run --fault-profile NAME` resolves in.
+#: The default profile keeps every kind alive at background rates low
+#: enough that a multi-shard campaign still converges: a fired disk
+#: fault quarantines one shard (its work is stolen), a lying fsync only
+#: matters if power is cut, a rare clock skew costs one charged retry.
+FAULT_PROFILES = {
+    "none": FaultProfile(
+        "none", "no injected faults (the control profile)", {},
+    ),
+    "default": FaultProfile(
+        "default",
+        "every fault kind at gentle background rates",
+        {"enospc": 0.0005, "eio": 0.0005, "torn": 0.0003,
+         "fsync_lie": 0.005, "stall": 0.005, "hb_skew": 0.001},
+    ),
+    "disk-full": FaultProfile(
+        "disk-full",
+        "the disk fills up and stays full (sticky ENOSPC)",
+        {"enospc": 0.25},
+    ),
+    "flaky-disk": FaultProfile(
+        "flaky-disk",
+        "transient EIO, torn writes and slow-disk stalls",
+        {"eio": 0.05, "torn": 0.05, "stall": 0.1},
+        enospc_sticky=False,
+    ),
+    "liar-disk": FaultProfile(
+        "liar-disk",
+        "every fsync lies; data survives only until the power cut",
+        {"fsync_lie": 1.0},
+    ),
+    "skewed-clock": FaultProfile(
+        "skewed-clock",
+        "heartbeats judged through a badly skewed clock",
+        {"hb_skew": 0.2}, skew_s=120.0,
+    ),
+    "hostile-infra": FaultProfile(
+        "hostile-infra",
+        "everything at once, at punishing rates",
+        {"enospc": 0.02, "eio": 0.02, "torn": 0.01,
+         "fsync_lie": 0.2, "stall": 0.05, "hb_skew": 0.02},
+        skew_s=60.0,
+    ),
+}
+
+
+def get_fault_profile(profile):
+    """Resolve a profile: instance, registry name, dict, or JSON path."""
+    if profile is None or isinstance(profile, FaultProfile):
+        return profile
+    if isinstance(profile, dict):
+        return FaultProfile.from_dict(profile)
+    if profile in FAULT_PROFILES:
+        return FAULT_PROFILES[profile]
+    if os.path.exists(profile):
+        try:
+            data = json.loads(open(profile).read())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigError(
+                "cannot load fault profile {}: {}".format(profile, error)
+            ) from error
+        return FaultProfile.from_dict(data)
+    raise ConfigError(
+        "unknown fault profile {!r}; known: {} (or a path to a JSON "
+        "profile)".format(profile, ", ".join(sorted(FAULT_PROFILES)))
+    )

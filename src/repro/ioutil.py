@@ -10,6 +10,13 @@ the process that wrote them, so every writer here is crash-safe:
 * :func:`append_durable` is the journal's append primitive: one
   ``write`` + ``flush`` + ``fsync`` per record, so a record is either
   fully on disk or (at worst) a torn tail the replay path can truncate.
+
+Every writer takes an optional ``faults`` object (a
+:class:`repro.faults.FaultInjector`) so the infra-chaos harness can
+make this exact I/O fail the way real disks fail -- ENOSPC, EIO, torn
+writes, fsyncs that lie -- without monkeypatching the os module.  With
+``faults=None`` (the default everywhere) the code path is byte-for-byte
+the pre-injection one.
 """
 
 import json
@@ -31,8 +38,13 @@ def fsync_directory(path):
         os.close(fd)
 
 
-def write_atomic(path, data, encoding="utf-8"):
-    """Atomically replace ``path`` with ``data`` (str or bytes)."""
+def write_atomic(path, data, encoding="utf-8", faults=None):
+    """Atomically replace ``path`` with ``data`` (str or bytes).
+
+    An injected (or real) failure while the temp file is being written
+    leaves the target untouched and the temp file unlinked -- a failed
+    atomic write is a no-op, never a half-written artifact.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     if isinstance(data, str):
@@ -42,9 +54,14 @@ def write_atomic(path, data, encoding="utf-8"):
     )
     try:
         with os.fdopen(fd, "wb") as handle:
+            if faults is not None:
+                faults.before_write(path, data)
             handle.write(data)
             handle.flush()
-            os.fsync(handle.fileno())
+            if faults is not None:
+                faults.fsync(handle)
+            else:
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -56,7 +73,7 @@ def write_atomic(path, data, encoding="utf-8"):
     return path
 
 
-def write_json_atomic(path, obj, indent=2, sort_keys=True):
+def write_json_atomic(path, obj, indent=2, sort_keys=True, faults=None):
     """Atomically write ``obj`` as stable, diff-friendly JSON.
 
     ``sort_keys`` + fixed indent make repeated writes of equal data
@@ -64,13 +81,25 @@ def write_json_atomic(path, obj, indent=2, sort_keys=True):
     with plain ``cmp``.
     """
     text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
-    return write_atomic(path, text)
+    return write_atomic(path, text, faults=faults)
 
 
-def append_durable(handle, data, encoding="utf-8"):
-    """Append ``data`` to an open binary handle and fsync it."""
+def append_durable(handle, data, encoding="utf-8", faults=None):
+    """Append ``data`` to an open binary handle and fsync it.
+
+    With ``faults``, the injector is consulted before the write (it may
+    raise ENOSPC/EIO or leave a torn prefix and raise) and performs the
+    fsync itself (it may lie).  Callers that must never replay a
+    half-written record -- the journal -- repair their tail when this
+    raises.
+    """
     if isinstance(data, str):
         data = data.encode(encoding)
+    if faults is not None:
+        faults.before_append(handle, data)
     handle.write(data)
     handle.flush()
-    os.fsync(handle.fileno())
+    if faults is not None:
+        faults.fsync(handle)
+    else:
+        os.fsync(handle.fileno())

@@ -28,7 +28,7 @@ from repro.campaign import (
 )
 from repro.campaign.pool import FAILED, OK, SKIPPED
 from repro.cli import main
-from repro.errors import CampaignError, JournalCorrupt
+from repro.errors import CampaignError, JournalConflict, JournalCorrupt
 from repro.scenarios import ScenarioResult, run_suite
 
 SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -139,18 +139,30 @@ class TestJournal:
         with pytest.raises(JournalCorrupt):
             CampaignJournal(path).open()
 
-    def test_duplicate_finish_first_wins(self):
+    def test_duplicate_identical_finish_deduped(self):
+        records = [
+            {"type": wal.UNIT_START, "unit": "u", "attempt": 0},
+            {"type": wal.UNIT_FINISH, "unit": "u", "attempt": 0,
+             "result": {"passed": True}},
+            {"type": wal.UNIT_FINISH, "unit": "u", "attempt": 1,
+             "result": {"passed": True}},
+            {"type": wal.UNIT_SKIP, "unit": "u", "reason": "deadline"},
+        ]
+        __, units = fold_records(records)
+        assert units["u"]["status"] == "done"
+        assert units["u"]["result"] == {"passed": True}
+
+    def test_conflicting_duplicate_finish_raises(self):
         records = [
             {"type": wal.UNIT_START, "unit": "u", "attempt": 0},
             {"type": wal.UNIT_FINISH, "unit": "u", "attempt": 0,
              "result": {"passed": True}},
             {"type": wal.UNIT_FINISH, "unit": "u", "attempt": 1,
              "result": {"passed": False}},
-            {"type": wal.UNIT_SKIP, "unit": "u", "reason": "deadline"},
         ]
-        __, units = fold_records(records)
-        assert units["u"]["status"] == "done"
-        assert units["u"]["result"] == {"passed": True}
+        with pytest.raises(JournalConflict) as excinfo:
+            fold_records(records)
+        assert excinfo.value.unit == "u"
 
     def test_append_requires_open(self, tmp_path):
         journal = CampaignJournal(tmp_path / "j.jsonl")

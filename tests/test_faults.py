@@ -1,0 +1,336 @@
+"""Infra fault injection: every injected fault ends typed, contained,
+or cleanly degraded -- never as silent corruption.
+
+Covers the fault-profile vocabulary, the seeded injector's determinism,
+the hardened durable writers (:func:`repro.ioutil.append_durable`,
+:func:`repro.ioutil.write_atomic`) under ENOSPC / EIO / torn writes,
+the journal's tail repair and broken-flag discipline, power loss after
+lying fsyncs, and heartbeat clock skew against the supervised pool.
+"""
+
+import errno
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.campaign import journal as wal
+from repro.campaign.journal import CampaignJournal, fold_records, replay
+from repro.campaign.pool import FAILED, OK, SupervisedPool
+from repro.errors import ConfigError, JournalWriteError
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultInjected,
+    FaultInjector,
+    FaultProfile,
+    get_fault_profile,
+)
+from repro.ioutil import append_durable, write_atomic, write_json_atomic
+
+
+def _tick(payload):
+    return payload * 2
+
+
+def _nap(seconds):
+    import time
+    time.sleep(seconds)
+    return "woke"
+
+
+# -- profiles ------------------------------------------------------------------
+
+
+class TestFaultProfiles:
+    def test_registry_profiles_are_valid(self):
+        for name, profile in FAULT_PROFILES.items():
+            assert profile.name == name
+            for kind in profile.active_kinds:
+                assert kind in FAULT_KINDS
+
+    def test_default_profile_exercises_every_kind(self):
+        # the acceptance contract: the default profile keeps every
+        # fault kind alive, so the fault matrix is fully covered
+        assert FAULT_PROFILES["default"].active_kinds == list(FAULT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultProfile("bad", "x", {"phase-of-moon": 0.5})
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultProfile("bad", "x", {"eio": 1.5})
+
+    def test_resolve_by_name_dict_instance_and_path(self, tmp_path):
+        assert get_fault_profile(None) is None
+        by_name = get_fault_profile("disk-full")
+        assert by_name.rates["enospc"] == 0.25
+        assert get_fault_profile(by_name) is by_name
+        by_dict = get_fault_profile(
+            {"name": "mine", "rates": {"torn": 0.125}}
+        )
+        assert by_dict.rates["torn"] == 0.125
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(
+            {"name": "filed", "rates": {"stall": 0.5}, "stall_s": 0.001}
+        ))
+        by_path = get_fault_profile(str(path))
+        assert by_path.rates["stall"] == 0.5
+        assert by_path.stall_s == 0.001
+        with pytest.raises(ConfigError):
+            get_fault_profile("no-such-profile")
+
+    def test_as_dict_round_trips(self):
+        profile = FaultProfile("rt", "x", {"eio": 0.25}, shards=[1, 3])
+        clone = FaultProfile.from_dict(profile.as_dict())
+        assert clone.rates == profile.rates
+        assert clone.shards == (1, 3)
+        assert clone.applies_to(1) and not clone.applies_to(0)
+
+    def test_shard_restriction_defaults_to_all(self):
+        profile = FaultProfile("all", "x", {"eio": 1.0})
+        assert profile.applies_to(0) and profile.applies_to(7)
+
+
+# -- injector determinism ------------------------------------------------------
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_fired_sequence(self, tmp_path):
+        profile = FaultProfile("p", "x", {"eio": 0.3},
+                               enospc_sticky=False)
+
+        def draw_sequence(seed):
+            injector = FaultInjector(profile, seed=seed)
+            fired = []
+            for i in range(64):
+                path = tmp_path / "f-{}-{}.bin".format(seed, i)
+                with open(path, "ab") as handle:
+                    try:
+                        append_durable(handle, b"x\n", faults=injector)
+                        fired.append(False)
+                    except FaultInjected:
+                        fired.append(True)
+            return fired
+
+        first = draw_sequence(42)
+        assert first == draw_sequence(42)
+        assert any(first) and not all(first)
+        assert first != draw_sequence(43)
+
+
+# -- append_durable under injected disk faults ---------------------------------
+
+
+class TestAppendDurableFaults:
+    @pytest.mark.parametrize("kind,expected_errno", [
+        ("enospc", errno.ENOSPC),
+        ("eio", errno.EIO),
+    ])
+    def test_fail_before_any_byte(self, tmp_path, kind, expected_errno):
+        """ENOSPC / EIO appends leave no partial line for replay."""
+        profile = FaultProfile("p", "x", {kind: 1.0},
+                               enospc_sticky=False)
+        injector = FaultInjector(profile)
+        path = tmp_path / "j.jsonl"
+        with open(path, "ab") as handle:
+            append_durable(handle, wal.seal({"type": "unit-start",
+                                             "unit": "u"}))
+            before = path.read_bytes()
+            with pytest.raises(FaultInjected) as excinfo:
+                append_durable(handle, wal.seal({"type": "unit-finish",
+                                                 "unit": "u"}),
+                               faults=injector)
+            handle.flush()
+        assert excinfo.value.errno == expected_errno
+        assert excinfo.value.kind == kind
+        assert path.read_bytes() == before
+        records, good = replay(path)
+        assert len(records) == 1 and good == len(before)
+
+    def test_sticky_enospc_stays_full(self, tmp_path):
+        injector = FaultInjector(FAULT_PROFILES["disk-full"], seed=1)
+        path = tmp_path / "j.jsonl"
+        failures = 0
+        with open(path, "ab") as handle:
+            for __ in range(32):
+                try:
+                    append_durable(handle, b"line\n", faults=injector)
+                except FaultInjected:
+                    failures += 1
+            # once ENOSPC fires, every later append fails too
+            with pytest.raises(FaultInjected):
+                for __ in range(64):
+                    append_durable(handle, b"line\n", faults=injector)
+        assert failures > 0
+
+    def test_torn_write_leaves_prefix_replay_truncates(self, tmp_path):
+        profile = FaultProfile("p", "x", {"torn": 1.0})
+        injector = FaultInjector(profile)
+        path = tmp_path / "j.jsonl"
+        line = wal.seal({"type": "unit-start", "unit": "u"})
+        with open(path, "ab") as handle:
+            append_durable(handle, wal.seal({"type": "campaign-start"}))
+            good_size = handle.tell()
+            with pytest.raises(FaultInjected):
+                append_durable(handle, line, faults=injector)
+            handle.flush()
+        torn = path.read_bytes()
+        assert len(torn) > good_size  # a real torn prefix landed
+        assert len(torn) < good_size + len(line.encode("utf-8"))
+        records, good = replay(path)  # replay tolerates the torn tail
+        assert len(records) == 1 and good == good_size
+
+
+# -- write_atomic under injected disk faults -----------------------------------
+
+
+class TestWriteAtomicFaults:
+    @pytest.mark.parametrize("kind", ["enospc", "eio"])
+    def test_target_untouched_and_tmp_cleaned(self, tmp_path, kind):
+        profile = FaultProfile("p", "x", {kind: 1.0},
+                               enospc_sticky=False)
+        injector = FaultInjector(profile)
+        target = tmp_path / "store.json"
+        target.write_text("{\"old\": true}\n")
+        with pytest.raises(FaultInjected):
+            write_json_atomic(target, {"new": True}, faults=injector)
+        assert json.loads(target.read_text()) == {"old": True}
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []  # no *.tmp debris
+
+    def test_success_path_still_fsyncs_directory(self, tmp_path,
+                                                 monkeypatch):
+        """The directory fsync survives the faults plumbing."""
+        import repro.ioutil as ioutil
+
+        synced = []
+        real = ioutil.fsync_directory
+        monkeypatch.setattr(
+            ioutil, "fsync_directory",
+            lambda path: (synced.append(os.fspath(path)), real(path))[1],
+        )
+        injector = FaultInjector(FaultProfile("quiet", "x", {}))
+        write_atomic(tmp_path / "out.txt", "data", faults=injector)
+        assert synced and synced[0] == os.fspath(tmp_path)
+
+
+# -- the journal under faults --------------------------------------------------
+
+
+class TestJournalFaults:
+    def test_torn_append_repairs_tail_and_breaks_journal(self, tmp_path):
+        profile = FaultProfile("p", "x", {"torn": 1.0})
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        with journal:
+            journal.open()
+            journal.append(wal.UNIT_START, unit="u", attempt=0)
+            good = path.read_bytes()
+            journal.faults = FaultInjector(profile)
+            with pytest.raises(JournalWriteError) as excinfo:
+                journal.append(wal.UNIT_FINISH, unit="u", attempt=0,
+                               result={"passed": True})
+            assert excinfo.value.errno == errno.EIO
+            assert excinfo.value.path == str(path)
+            # tail repaired: the torn prefix is gone, bytes are exactly
+            # the pre-append journal
+            assert path.read_bytes() == good
+            # the journal is broken now; appends refuse deterministically
+            journal.faults = None
+            with pytest.raises(JournalWriteError):
+                journal.append(wal.UNIT_SKIP, unit="u", reason="x")
+        records, __ = replay(path)
+        assert [r["type"] for r in records] == [wal.UNIT_START]
+
+    def test_enospc_append_is_typed(self, tmp_path):
+        journal = CampaignJournal(
+            tmp_path / "j.jsonl",
+            faults=FaultInjector(FAULT_PROFILES["disk-full"], seed=1),
+        )
+        with journal:
+            journal.open()
+            with pytest.raises(JournalWriteError) as excinfo:
+                for i in range(256):
+                    journal.append(wal.UNIT_START, unit="u{}".format(i),
+                                   attempt=0)
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_lying_fsync_power_loss_loses_tail_not_integrity(
+            self, tmp_path):
+        """Post power-cut replay sees a prefix; nothing is corrupt."""
+        injector = FaultInjector(FAULT_PROFILES["liar-disk"])
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, faults=injector)
+        with journal:
+            journal.open()
+            for i in range(8):
+                journal.append(wal.UNIT_FINISH, unit="u{}".format(i),
+                               attempt=0, result={"passed": True})
+        lost = injector.simulate_power_loss()
+        assert lost and str(path) in lost
+        records, __ = replay(path)  # replays clean -- just shorter
+        assert len(records) < 8
+        __, units = fold_records(records)
+        for entry in units.values():  # what survived is intact
+            assert entry["status"] == "done"
+
+
+# -- heartbeat clock skew ------------------------------------------------------
+
+
+class TestHeartbeatSkew:
+    def test_skewed_clock_kills_healthy_worker_but_retry_recovers(self):
+        profile = FaultProfile("skew", "x", {"hb_skew": 1.0},
+                               skew_s=3600.0)
+        pool = SupervisedPool(jobs=1, watchdog_s=30.0, max_retries=1,
+                              backoff_base_s=0.01,
+                              faults=FaultInjector(profile))
+        outcomes = pool.run([("unit", 30)], _nap)
+        # with the skew firing on every read, both launches are shot
+        # stale; the budget exhausts into a typed, deterministic failure
+        assert outcomes["unit"].status == FAILED
+        assert outcomes["unit"].detail == "heartbeat went stale"
+
+    def test_no_skew_control_passes(self):
+        pool = SupervisedPool(jobs=1, watchdog_s=30.0, max_retries=0)
+        outcomes = pool.run([("unit", 21)], _tick)
+        assert outcomes["unit"].status == OK
+        assert outcomes["unit"].value == 42
+
+
+# -- the full fault matrix: typed error, quarantine, or clean degrade ----------
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_ends_contained(self, tmp_path, kind):
+        """Each fault kind, fired at rate 1, resolves into a typed
+        error, a lost-durability window, a delay, or a watchdog kill --
+        and never into bad bytes that replay would trust."""
+        profile = FaultProfile("only-" + kind, "x", {kind: 1.0},
+                               stall_s=0.0005, skew_s=3600.0,
+                               enospc_sticky=False)
+        injector = FaultInjector(profile)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, faults=injector)
+        journal.open()
+        try:
+            if kind in ("enospc", "eio", "torn"):
+                with pytest.raises(JournalWriteError):
+                    journal.append(wal.UNIT_START, unit="u", attempt=0)
+            elif kind == "fsync_lie":
+                journal.append(wal.UNIT_START, unit="u", attempt=0)
+                injector.simulate_power_loss()
+            elif kind == "stall":
+                journal.append(wal.UNIT_START, unit="u", attempt=0)
+            elif kind == "hb_skew":
+                assert injector.heartbeat_skew() == 3600.0
+        finally:
+            journal.close()
+        assert kind in injector.fired_kinds() or kind == "hb_skew"
+        # whatever happened, the journal on disk replays clean
+        records, __ = replay(path)
+        assert all(r.get("crc") for r in records)
