@@ -1,0 +1,206 @@
+"""Cost of the serve layer over the campaign fabric it wraps.
+
+Two questions, both measured host-side against a real server on a real
+Unix socket:
+
+* **throughput** -- sustained inline-scenario requests per second and
+  the p50/p99 request latency, driven by three tenants submitting
+  concurrently over their own connections (the smoke-test shape);
+* **plan overhead** -- a sharded campaign submitted through the
+  service versus the same directory run offline on an identical
+  4-shard fabric.  The service adds admission, quota accounting and
+  event streaming around the exact same runner, so its per-unit cost
+  must stay within the 1.15x budget.
+
+The numbers land in ``BENCH_serve.json`` at the repo root so the
+service-overhead trajectory is tracked from this change onward.
+"""
+
+import json
+import pathlib
+import tempfile
+import threading
+import time
+
+from _bench_utils import once
+
+from repro.analysis.report import format_table
+from repro.campaign import ShardedCampaignRunner
+from repro.ioutil import write_json_atomic
+from repro.serve import QuotaLedger, ServeBackend, ServeClient, \
+    ServeServer, TenantQuota
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_serve.json"
+
+#: fabric shape for both the served and the offline side
+SHARDS = 4
+JOBS = 4
+#: inline submissions for the throughput measurement
+TENANTS = ("alice", "bob", "carol")
+REQUESTS_PER_TENANT = 8
+#: plan size for the served-vs-offline comparison
+PLAN_UNITS = 16
+#: serve per-unit cost budget relative to the offline fabric
+BUDGET_X = 1.15
+
+
+def _write_plan(directory, count):
+    directory.mkdir(parents=True, exist_ok=True)
+    for index in range(count):
+        (directory / "unit{:02d}.json".format(index)).write_text(
+            json.dumps({
+                "name": "unit{:02d}".format(index),
+                "machine": {"os": "linux", "cpu": "i5-12400F",
+                            "seed": index},
+                "attack": {"kind": "kaslr", "params": {"trials": 2}},
+                "expect": {"correct": True},
+            })
+        )
+    return directory
+
+
+def _scenario(seed):
+    return {
+        "name": "inline{}".format(seed),
+        "machine": {"os": "linux", "cpu": "i5-12400F", "seed": seed},
+        "attack": {"kind": "kaslr", "params": {"trials": 2}},
+        "expect": {"correct": True},
+    }
+
+
+def _start_server(tmp):
+    backend = ServeBackend(tmp / "state", shards=SHARDS, jobs=JOBS,
+                           watchdog_s=120.0)
+    ledger = QuotaLedger(TenantQuota(max_requests=32, max_units=256))
+    server = ServeServer(backend, ledger,
+                         socket_path=str(tmp / "bench.sock"),
+                         max_queue=512)
+    server.start()
+    return server
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _bench_throughput(server):
+    """Concurrent inline submissions: requests/s and latency spread."""
+    latencies = []
+    lock = threading.Lock()
+    failures = []
+
+    def tenant_load(tenant, offset):
+        with ServeClient(server.address).connect(tenant) as client:
+            for index in range(REQUESTS_PER_TENANT):
+                started = time.perf_counter()
+                verdict = client.submit(
+                    "r{}".format(index),
+                    scenario=_scenario(offset + index),
+                )
+                elapsed = time.perf_counter() - started
+                with lock:
+                    if verdict.get("status") != "done":
+                        failures.append(verdict)
+                    latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=tenant_load, args=(tenant, 100 * rank))
+        for rank, tenant in enumerate(TENANTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    assert not failures, failures[:3]
+    requests = len(latencies)
+    return {
+        "tenants": len(TENANTS),
+        "requests": requests,
+        "wall_s": round(wall_s, 4),
+        "requests_per_s": round(requests / wall_s, 2),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 2),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 2),
+    }
+
+
+def _bench_plan(server, tmp):
+    """A plan through the service vs the same fabric offline."""
+    plan_dir = _write_plan(tmp / "plan", PLAN_UNITS)
+
+    offline = ShardedCampaignRunner(
+        tmp / "offline.jsonl", directory=str(plan_dir),
+        shards=SHARDS, jobs=JOBS, seed=1, watchdog_s=120.0,
+    )
+    start = time.perf_counter()
+    offline_report = offline.run()
+    offline_s = time.perf_counter() - start
+    assert offline_report.ok, offline_report.summary
+
+    with ServeClient(server.address).connect("alice") as client:
+        start = time.perf_counter()
+        verdict = client.submit(
+            "bench-plan",
+            plan={"directory": str(plan_dir), "shards": SHARDS,
+                  "seed": 1, "jobs": JOBS},
+        )
+        served_s = time.perf_counter() - start
+    assert verdict["status"] == "done" and verdict["ok"], verdict
+
+    def _strip(store):
+        store = dict(store)
+        store.pop("generated_at")
+        store.pop("wall_elapsed_s")
+        return store
+
+    served_store = json.loads(pathlib.Path(verdict["store"]).read_text())
+    assert _strip(served_store) == _strip(offline_report.store)
+    return {
+        "units": PLAN_UNITS,
+        "shards": SHARDS,
+        "offline_s": round(offline_s, 4),
+        "served_s": round(served_s, 4),
+        "offline_unit_ms": round(offline_s / PLAN_UNITS * 1000.0, 2),
+        "served_unit_ms": round(served_s / PLAN_UNITS * 1000.0, 2),
+        "overhead_x": round(served_s / offline_s, 3),
+        "budget_x": BUDGET_X,
+    }
+
+
+def run_serve_bench():
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        server = _start_server(tmp)
+        try:
+            throughput = _bench_throughput(server)
+            plan = _bench_plan(server, tmp)
+        finally:
+            server.drain(timeout=300.0)
+
+    # the service is a thin layer: admission + streaming must not tax
+    # the fabric beyond its budget
+    assert plan["overhead_x"] <= plan["budget_x"], plan
+
+    write_json_atomic(BENCH_JSON, {
+        "throughput": throughput, "plan": plan,
+    }, indent=2)
+
+    rows = [
+        ["inline submits, {} tenants".format(throughput["tenants"]),
+         throughput["requests"], throughput["wall_s"],
+         "{}/s, p99 {} ms".format(throughput["requests_per_s"],
+                                  throughput["p99_ms"])],
+        ["plan via serve ({} shards)".format(plan["shards"]),
+         plan["units"], plan["served_s"],
+         "{}x offline ({}s)".format(plan["overhead_x"],
+                                    plan["offline_s"])],
+    ]
+    return format_table(["workload", "n", "seconds", "rate"], rows)
+
+
+def test_perf_serve(benchmark, record_result):
+    record_result("perf_serve", once(benchmark, run_serve_bench))

@@ -53,7 +53,7 @@ from repro.campaign.shard import DEAD, Shard, shard_journal_path, shard_of
 from repro.errors import CampaignError
 from repro.faults.injector import FaultInjector
 from repro.faults.profiles import get_fault_profile
-from repro.ioutil import write_json_atomic
+from repro.ioutil import prune_stale_artifacts, write_json_atomic
 from repro.obs.metrics import FSYNC_US_BUCKETS
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -104,8 +104,8 @@ class ShardedCampaignReport(CampaignReport):
     __slots__ = ("shard_states", "shard_failures", "steals")
 
     def __init__(self, store, store_path, shard_states, shard_failures,
-                 steals):
-        super().__init__(store, store_path)
+                 steals, interrupted=False):
+        super().__init__(store, store_path, interrupted=interrupted)
         #: shard index -> terminal state ("done" / "dead")
         self.shard_states = shard_states
         #: shard index -> str(typed failure), for quarantined shards
@@ -130,9 +130,16 @@ class ShardedCampaignRunner:
     def __init__(self, journal_path, directory=None, shards=2, jobs=1,
                  watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
                  max_retries=DEFAULT_MAX_RETRIES, store_path=None,
-                 trace_path=None, seed=0, fault_profile=None):
+                 trace_path=None, seed=0, fault_profile=None,
+                 event_sink=None):
         self.journal = CampaignJournal(journal_path)
         self.directory = directory
+        #: optional live observer: every fabric event (unit transitions,
+        #: steals, quarantines, faults) is mirrored to
+        #: ``event_sink(kind, fields)`` -- the serve layer streams these
+        #: to clients; a broken sink never breaks the fabric
+        self.event_sink = event_sink
+        self._draining = threading.Event()
         self.shards = max(1, shards)
         self.jobs = max(1, jobs)
         self.watchdog_s = watchdog_s
@@ -176,11 +183,27 @@ class ShardedCampaignRunner:
                 "journal {} already exists; resume it (or choose a new "
                 "journal path)".format(self.journal.path)
             )
+        prune_stale_artifacts(
+            self.journal.path.parent,
+            patterns=(self.journal.path.stem + "*.tmp",
+                      self.journal.path.stem + ".beats-*"),
+        )
         records = self.journal.open()
         try:
             return self._execute(records)
         finally:
             self.journal.close()
+
+    def request_drain(self):
+        """Stop the fabric gracefully (signal-handler / serve-drain safe).
+
+        The feed stops handing out (and stealing) units, every shard
+        pool finishes its in-flight units, journals them, seals its
+        journal, and the run returns with ``interrupted=True`` unless
+        everything happened to finish anyway.  ``resume`` continues
+        from exactly this state.
+        """
+        self._draining.set()
 
     def status(self):
         """Read-only fabric-wide view: ``(meta, folded)``."""
@@ -240,6 +263,7 @@ class ShardedCampaignRunner:
         }
         return ShardedCampaignReport(
             store, self.store_path, states, failures, self._steals,
+            interrupted=not done and self._draining.is_set(),
         )
 
     def _adopt_config(self, records):
@@ -319,6 +343,9 @@ class ShardedCampaignRunner:
                 seed=self.seed,
                 deadline=deadline,
                 faults=faults,
+                drain=self._draining,
+                beat_root=str(self.journal.path.parent),
+                beat_prefix=self.journal.path.stem + ".beats-",
             ))
         for shard in self._shard_objs:
             shard.start()
@@ -349,6 +376,10 @@ class ShardedCampaignRunner:
         be requeued, and ``None`` -- exhausted, shut down -- once
         nothing anywhere could become this shard's work.
         """
+        if self._draining.is_set():
+            # graceful drain: nothing new changes hands; undelivered
+            # units stay pending in the journals for the resume
+            return None
         stolen = []
         with self._lock:
             backlog = self._backlogs[index]
@@ -422,6 +453,11 @@ class ShardedCampaignRunner:
                             state=shard.state)
 
     def emit_event(self, kind, **fields):
+        if self.event_sink is not None:
+            try:
+                self.event_sink(kind, fields)
+            except Exception:  # noqa: BLE001 -- a dead client's sink
+                pass           # must never take the fabric down
         if self.obs.enabled:
             with self._obs_lock:
                 self.obs.event(kind, **fields)

@@ -88,8 +88,17 @@ def _scan(path):
     ``end`` is the byte offset just past the line.  Exactly one of
     ``record`` / ``reason`` is non-None: an intact record, or a string
     explaining why the line is damaged.  Blank lines are skipped.
+
+    An unreadable journal (missing, a directory, an I/O error) raises
+    a typed :class:`~repro.errors.CampaignError` so callers -- the CLI
+    especially -- report a structured failure instead of a traceback.
     """
-    raw = pathlib.Path(path).read_bytes()
+    try:
+        raw = pathlib.Path(path).read_bytes()
+    except OSError as error:
+        raise CampaignError(
+            "cannot read journal {}: {}".format(path, error)
+        ) from error
     offset = 0
     for number, line in enumerate(raw.splitlines(keepends=True), start=1):
         stripped = line.strip()

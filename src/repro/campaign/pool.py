@@ -138,11 +138,20 @@ class SupervisedPool:
     supervision loop's poll interval (latency/CPU trade-off, no effect
     on results); ``faults`` lets an infra fault injector skew the clock
     the heartbeat watchdog reads through.
+
+    ``beat_root`` anchors the per-run heartbeat directory: by default
+    beat files live in a fresh system temp directory, but a campaign
+    passes its journal directory (with a ``beat_prefix`` naming the
+    campaign) so the debris a SIGKILLed run leaves behind is
+    discoverable -- and rotated out via
+    :func:`repro.ioutil.prune_stale_artifacts` -- instead of
+    accumulating invisibly in ``/tmp`` across crash-resume cycles.
     """
 
     def __init__(self, jobs=1, watchdog_s=None, heartbeat_s=0.25,
                  stale_after_s=None, max_retries=0, backoff_base_s=0.05,
-                 tick_s=0.1, seed=None, faults=None):
+                 tick_s=0.1, seed=None, faults=None, beat_root=None,
+                 beat_prefix="repro-pool-"):
         self.jobs = max(1, jobs)
         self.watchdog_s = watchdog_s
         self.heartbeat_s = heartbeat_s
@@ -156,11 +165,15 @@ class SupervisedPool:
         self.seed = seed
         #: fault injector whose clock-skew draws taint heartbeat reads
         self.faults = faults
+        #: where the per-run beat directory is created (None = system tmp)
+        self.beat_root = beat_root
+        self.beat_prefix = beat_prefix
 
     # -- public entry ----------------------------------------------------------
 
     def run(self, units, worker, deadline=None, on_start=None,
-            on_finish=None, on_retry=None, on_skip=None, feed=None):
+            on_finish=None, on_retry=None, on_skip=None, feed=None,
+            drain=None):
         """Run ``(unit_id, payload)`` pairs; return {unit_id: PoolOutcome}.
 
         Callbacks (all optional) fire in the parent, in submission
@@ -177,6 +190,13 @@ class SupervisedPool:
         exhausted for good.  The initial ``units`` list still runs
         first; a shard passes ``units=[]`` and lives entirely off its
         coordinator's feed.
+
+        ``drain`` (optional) is a ``threading.Event``: once set, no
+        further unit is launched or pulled from ``feed`` -- queued and
+        backoff-waiting units are abandoned *unrecorded* (they stay
+        pending in the campaign journal, exactly what a resume needs)
+        while in-flight units finish normally.  This is the graceful
+        SIGTERM path: finish what is running, journal it, stop.
         """
         results = {}
         queue = collections.deque(_Task(uid, payload)
@@ -185,9 +205,18 @@ class SupervisedPool:
         in_flight = {}
         executor = None
         exhausted = feed is None
-        beat_dir = tempfile.mkdtemp(prefix="repro-pool-")
+        if self.beat_root is not None:
+            os.makedirs(self.beat_root, exist_ok=True)
+        beat_dir = tempfile.mkdtemp(prefix=self.beat_prefix,
+                                    dir=self.beat_root)
         try:
             while True:
+                if drain is not None and drain.is_set():
+                    # graceful drain: abandon (don't skip) pending work,
+                    # let the in-flight units run to their journaled end
+                    queue.clear()
+                    waiting.clear()
+                    exhausted = True
                 if not exhausted:
                     room = 2 * self.jobs - (
                         len(queue) + len(waiting) + len(in_flight)

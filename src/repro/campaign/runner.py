@@ -28,13 +28,14 @@ units with watchdogs and crash recovery.  The contract:
 import hashlib
 import json
 import pathlib
+import threading
 import time
 
 from repro.campaign import journal as wal
 from repro.campaign.journal import CampaignJournal, fold_records
 from repro.campaign.pool import OK, SupervisedPool
 from repro.errors import CampaignError
-from repro.ioutil import write_json_atomic
+from repro.ioutil import prune_stale_artifacts, write_json_atomic
 from repro.obs.metrics import FSYNC_US_BUCKETS
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.scenarios import ScenarioResult, _run_scenario_guarded
@@ -198,11 +199,15 @@ def build_store(config, folded, wall_elapsed_s):
 class CampaignReport:
     """What a finished (or resumed-to-finished) campaign hands back."""
 
-    __slots__ = ("store", "store_path")
+    __slots__ = ("store", "store_path", "interrupted")
 
-    def __init__(self, store, store_path):
+    def __init__(self, store, store_path, interrupted=False):
         self.store = store
         self.store_path = store_path
+        #: True when a graceful drain stopped the campaign before every
+        #: unit reached a terminal state -- the journal is sealed and
+        #: ``repro campaign resume`` picks up exactly where it stopped
+        self.interrupted = interrupted
 
     @property
     def summary(self):
@@ -234,9 +239,14 @@ class CampaignRunner:
     def __init__(self, journal_path, directory=None, jobs=1,
                  watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
                  max_retries=DEFAULT_MAX_RETRIES, store_path=None,
-                 trace_path=None, seed=0):
+                 trace_path=None, seed=0, event_sink=None):
         self.journal = CampaignJournal(journal_path)
         self.directory = directory
+        #: optional live observer: called as ``event_sink(kind, fields)``
+        #: for every unit transition (the serve layer streams these to
+        #: clients); a broken sink never breaks the campaign
+        self.event_sink = event_sink
+        self._drain = threading.Event()
         self.jobs = max(1, jobs)
         self.watchdog_s = watchdog_s
         self.deadline_s = deadline_s
@@ -272,11 +282,25 @@ class CampaignRunner:
                 "journal {} already exists; resume it (or choose a new "
                 "journal path)".format(self.journal.path)
             )
+        prune_stale_artifacts(
+            self.journal.path.parent,
+            patterns=(self.journal.path.stem + "*.tmp",
+                      self.journal.path.stem + ".beats-*"),
+        )
         records = self.journal.open()
         try:
             return self._execute(records)
         finally:
             self.journal.close()
+
+    def request_drain(self):
+        """Ask a running campaign to stop gracefully (signal-handler safe).
+
+        No new unit launches after this; in-flight units finish and are
+        journaled; queued units stay pending for ``resume``.  The run
+        then returns a report with ``interrupted=True``.
+        """
+        self._drain.set()
 
     def status(self):
         """Read-only view of a journal: (config, unit-state dict)."""
@@ -345,6 +369,8 @@ class CampaignRunner:
                 pool = SupervisedPool(
                     jobs=self.jobs, watchdog_s=self.watchdog_s,
                     max_retries=self.max_retries, seed=self.seed,
+                    beat_root=str(self.journal.path.parent),
+                    beat_prefix=self.journal.path.stem + ".beats-",
                 )
                 pool.run(
                     [(unit["id"], unit["path"]) for unit in pending],
@@ -354,21 +380,28 @@ class CampaignRunner:
                     on_retry=self._on_retry,
                     on_skip=self._on_skip,
                     on_finish=self._on_finish,
+                    drain=self._drain,
                 )
-            if not meta["finished"]:
+            # Rebuild the final state purely from the journal: the clean
+            # and the resumed paths then serialize through identical
+            # code, which is what makes the stores byte-comparable.
+            records, __ = wal.replay(self.journal.path)
+            meta, folded = fold_records(records)
+            done = all(
+                folded.get(unit["id"], {}).get("status")
+                in ("done", "skipped")
+                for unit in config["units"]
+            )
+            if done and not meta["finished"]:
                 self._journal_append(wal.CAMPAIGN_FINISH)
         wall_elapsed = time.monotonic() - start
 
-        # Rebuild the final state purely from the journal: the clean
-        # and the resumed paths then serialize through identical code,
-        # which is what makes the stores byte-comparable.
-        records, __ = wal.replay(self.journal.path)
-        meta, folded = fold_records(records)
         store = self._build_store(meta["config"], folded, wall_elapsed)
         write_json_atomic(self.store_path, store)
         if self.obs.enabled:
             self.obs.finish(wall_ms=wall_elapsed * 1000.0)
-        return CampaignReport(store, self.store_path)
+        return CampaignReport(store, self.store_path,
+                              interrupted=not done and self._drain.is_set())
 
     def _verify_unit_digests(self, units):
         verify_unit_digests(units)
@@ -394,14 +427,26 @@ class CampaignRunner:
 
     # -- pool callbacks (each journals before state advances) ------------------
 
+    def _emit(self, kind, **fields):
+        """Forward one unit event to the live sink (serve streaming)."""
+        if self.event_sink is None:
+            return
+        try:
+            self.event_sink(kind, fields)
+        except Exception:  # noqa: BLE001 -- a dead client's sink must
+            pass           # never take the campaign down with it
+
     def _on_start(self, unit_id, attempt):
         self.obs.event("unit-start", unit=unit_id, attempt=attempt - 1)
+        self._emit("unit-start", unit=unit_id, attempt=attempt - 1)
         self._journal_append(wal.UNIT_START, unit=unit_id,
                              attempt=attempt - 1)
 
     def _on_retry(self, unit_id, attempt, reason):
         self.obs.event("retry", unit=unit_id, attempt=attempt - 1,
                        reason=reason)
+        self._emit("retry", unit=unit_id, attempt=attempt - 1,
+                   reason=reason)
         if self.obs.enabled:
             self.obs.metrics.inc("campaign.unit_retries")
         self._journal_append(wal.UNIT_RETRY, unit=unit_id,
@@ -409,6 +454,7 @@ class CampaignRunner:
 
     def _on_skip(self, unit_id, reason):
         self.obs.event("unit-skip", unit=unit_id, reason=reason)
+        self._emit("unit-skip", unit=unit_id, reason=reason)
         if self.obs.enabled:
             self.obs.metrics.inc("campaign.units_skipped")
         self._journal_append(wal.UNIT_SKIP, unit=unit_id, reason=reason)
@@ -418,11 +464,15 @@ class CampaignRunner:
         if degraded:
             self.obs.event("degradation", unit=unit_id,
                            reason="deadline")
+            self._emit("degradation", unit=unit_id, reason="deadline")
             if self.obs.enabled:
                 self.obs.metrics.inc("campaign.units_degraded")
         self.obs.event("unit-finish", unit=unit_id,
                        attempt=outcome.attempts - 1,
                        passed=bool(result.get("passed")))
+        self._emit("unit-finish", unit=unit_id,
+                   attempt=outcome.attempts - 1,
+                   passed=bool(result.get("passed")))
         if self.obs.enabled:
             self.obs.metrics.inc("campaign.units_finished")
         self._journal_append(wal.UNIT_FINISH, unit=unit_id,

@@ -71,7 +71,8 @@ class Shard:
 
     def __init__(self, index, journal_path, coordinator, jobs=1,
                  watchdog_s=None, max_retries=0, seed=0, deadline=None,
-                 faults=None):
+                 faults=None, drain=None, beat_root=None,
+                 beat_prefix="repro-pool-"):
         self.index = index
         self.coordinator = coordinator
         self.jobs = max(1, jobs)
@@ -80,6 +81,10 @@ class Shard:
         self.seed = seed
         self.deadline = deadline
         self.faults = faults
+        #: coordinator-owned drain event (graceful stop), or None
+        self.drain = drain
+        self.beat_root = beat_root
+        self.beat_prefix = beat_prefix
         self.journal = CampaignJournal(journal_path, faults=faults)
         self.state = IDLE
         self.failure = None
@@ -111,7 +116,8 @@ class Shard:
             pool = SupervisedPool(
                 jobs=self.jobs, watchdog_s=self.watchdog_s,
                 max_retries=self.max_retries, seed=self.seed,
-                faults=self.faults,
+                faults=self.faults, beat_root=self.beat_root,
+                beat_prefix=self.beat_prefix,
             )
             pool.run(
                 [], _run_unit,
@@ -121,6 +127,7 @@ class Shard:
                 on_retry=self._on_retry,
                 on_skip=self._on_skip,
                 on_finish=self._on_finish,
+                drain=self.drain,
             )
             self._append(wal.SHARD_FINISH, shard=self.index)
             self.state = DONE

@@ -28,6 +28,11 @@ from repro.cpu.models import CPU_CATALOG, get_cpu_model
 from repro.errors import ReproError
 from repro.machine import Machine
 
+#: exit code for a run stopped by a graceful drain: the journal is
+#: sealed and ``repro campaign resume`` continues it (EX_TEMPFAIL --
+#: "try again" -- by the sysexits convention supervisors understand)
+EXIT_INTERRUPTED = 75
+
 
 def _add_common(parser, default_cpu="i5-12400F"):
     parser.add_argument("--cpu", default=default_cpu,
@@ -395,7 +400,39 @@ def _print_campaign_report(report):
     print("{passed} passed, {failed} failed, {skipped} skipped "
           "({degraded} degraded)".format(**summary))
     print("results: {}".format(report.store_path))
+    if getattr(report, "interrupted", False):
+        print("interrupted: journal sealed; `repro campaign resume` "
+              "continues where this stopped")
+        return EXIT_INTERRUPTED
     return 0 if report.ok else 1
+
+
+def _run_campaign_draining(runner, resume=False):
+    """Run a campaign with SIGTERM/SIGINT mapped to a graceful drain.
+
+    The first signal stops the feed; in-flight units finish and are
+    journaled, queued units stay pending, and the process exits
+    :data:`EXIT_INTERRUPTED` so a supervisor knows to resume rather
+    than report failure.
+    """
+    import signal as _signal
+
+    previous = {}
+
+    def _on_signal(signum, frame):
+        runner.request_drain()
+
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[signum] = _signal.signal(signum, _on_signal)
+        except ValueError:
+            pass  # not the main thread (tests); drain via the runner
+    try:
+        report = runner.run(resume=resume)
+    finally:
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
+    return _print_campaign_report(report)
 
 
 def cmd_campaign(args):
@@ -440,7 +477,7 @@ def cmd_campaign(args):
         else:
             runner = CampaignRunner(args.journal, jobs=args.jobs,
                                     store_path=args.out)
-        return _print_campaign_report(runner.run(resume=True))
+        return _run_campaign_draining(runner, resume=True)
 
     if args.shards > 1 or args.fault_profile is not None:
         runner = ShardedCampaignRunner(
@@ -457,7 +494,7 @@ def cmd_campaign(args):
             max_retries=args.max_retries, store_path=args.out,
             trace_path=args.trace, seed=args.seed,
         )
-    return _print_campaign_report(runner.run(resume=args.resume))
+    return _run_campaign_draining(runner, resume=args.resume)
 
 
 def _cmd_campaign_fsck(args):
@@ -499,6 +536,150 @@ def _cmd_campaign_fsck(args):
             print("  {}".format(report["conflict"]))
             worst = 1
     return worst
+
+
+def _serve_address(args):
+    """The submit/drain target: a Unix socket path or ``(host, port)``."""
+    if args.socket:
+        return args.socket
+    return (args.host, args.port)
+
+
+def cmd_serve(args):
+    """Run the multi-tenant attack-simulation service until drained."""
+    import pathlib as _pathlib
+
+    from repro.errors import ServeError
+    from repro.serve import (
+        QuotaLedger,
+        ServeBackend,
+        ServeServer,
+        load_tenant_quotas,
+    )
+
+    if args.socket is None and args.port is None:
+        raise ServeError("serve needs --socket PATH or --port N")
+    ledger = QuotaLedger()
+    if args.tenants:
+        try:
+            spec = json.loads(_pathlib.Path(args.tenants).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServeError(
+                "cannot load tenant quotas from {}: {}".format(
+                    args.tenants, error)
+            ) from error
+        default, tenants = load_tenant_quotas(spec)
+        ledger = QuotaLedger(default, tenants)
+    backend = ServeBackend(
+        args.state, shards=args.shards, jobs=args.jobs,
+        watchdog_s=args.watchdog, max_retries=args.max_retries,
+        seed=args.seed,
+    )
+    obs = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        obs = Tracer(path=args.trace, meta={"command": "serve"})
+    server = ServeServer(
+        backend, ledger, socket_path=args.socket,
+        host=args.host, port=args.port or 0, max_queue=args.max_queue,
+        write_timeout_s=args.write_timeout, ready_file=args.ready_file,
+        obs=obs,
+    )
+    started = time.perf_counter()
+    address = server.start()
+    print("serving on {}".format(address), flush=True)
+    code = server.serve_forever()
+    if obs is not None:
+        obs.finish(wall_ms=(time.perf_counter() - started) * 1000.0)
+        print("trace      : {}".format(obs.path))
+    print("drained", flush=True)
+    return code
+
+
+def cmd_submit(args):
+    """Submit one scenario or campaign plan to a running server."""
+    import pathlib as _pathlib
+
+    from repro.errors import ServeError
+    from repro.serve import ServeClient
+
+    scenario = None
+    plan = None
+    if (args.scenario is None) == (args.plan is None):
+        raise ServeError("submit needs exactly one of --scenario or --plan")
+    if args.scenario is not None:
+        try:
+            scenario = json.loads(_pathlib.Path(args.scenario).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServeError(
+                "cannot load scenario {}: {}".format(args.scenario, error)
+            ) from error
+    else:
+        plan = {"directory": args.plan}
+        if args.shards is not None:
+            plan["shards"] = args.shards
+        if args.seed is not None:
+            plan["seed"] = args.seed
+        if args.jobs is not None:
+            plan["jobs"] = args.jobs
+
+    def on_event(message):
+        if not args.json:
+            fields = {k: v for k, v in sorted(message.items())
+                      if k not in ("type", "id", "kind")}
+            print("event  : {} {}".format(
+                message.get("kind"),
+                " ".join("{}={}".format(k, v) for k, v in fields.items()),
+            ))
+
+    with ServeClient(_serve_address(args),
+                     timeout_s=args.timeout).connect(args.tenant) as client:
+        reply = client.submit(
+            args.id, scenario=scenario, plan=plan,
+            deadline_s=args.deadline, on_event=on_event,
+            wait=not args.no_wait,
+        )
+    if args.json:
+        print(json.dumps(reply, sort_keys=True))
+    else:
+        kind = reply.get("type")
+        if kind == "rejected":
+            print("rejected: {} ({})".format(
+                reply.get("message"), reply.get("error")))
+        elif kind == "accepted":
+            print("accepted: queue depth {}".format(
+                reply.get("queue_depth")))
+        else:
+            print("verdict : {}".format(reply.get("status")))
+            if reply.get("summary"):
+                print("summary : {passed} passed, {failed} failed, "
+                      "{skipped} skipped ({degraded} degraded)".format(
+                          **reply["summary"]))
+            if reply.get("store"):
+                print("store   : {}".format(reply["store"]))
+    kind = reply.get("type")
+    if kind == "rejected":
+        return 3
+    if kind == "accepted":
+        return 0
+    status = reply.get("status")
+    if status == "interrupted":
+        return EXIT_INTERRUPTED
+    if status == "done":
+        return 0 if reply.get("ok", True) is not False else 1
+    return 1
+
+
+def cmd_drain(args):
+    """Ask a running server to drain gracefully."""
+    from repro.serve import ServeClient
+
+    with ServeClient(_serve_address(args),
+                     timeout_s=args.timeout).connect() as client:
+        reply = client.drain(wait=not args.no_wait)
+    print("server {}".format(reply.get("type")))
+    return 0
 
 
 def cmd_trace(args):
@@ -720,6 +901,95 @@ def build_parser():
                         "records into a fresh journal so the campaign "
                         "can resume minus the damaged lines")
     v.set_defaults(func=cmd_campaign, verb="fsck")
+
+    p = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant attack-simulation service")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="listen on a Unix socket at PATH")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (with --port)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP bind port (0 = ephemeral; the bound "
+                        "address is printed on startup)")
+    p.add_argument("--state", default="serve-state", metavar="DIR",
+                   help="state directory: scenario specs, persisted "
+                        "results, plan journals and stores")
+    p.add_argument("--shards", type=int, default=2,
+                   help="fault domains in the campaign fabric")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="total worker processes (default: one per shard)")
+    p.add_argument("--watchdog", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="per-unit wall-clock watchdog timeout")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per unit for killed/hung workers")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fabric seed (retry jitter, fault draws)")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="global bound on admitted in-flight units")
+    p.add_argument("--tenants", default=None, metavar="QUOTAS.JSON",
+                   help="per-tenant quota config (a mapping of tenant "
+                        "name to max_requests / max_units / "
+                        "max_deadline_s; the 'default' entry replaces "
+                        "the built-in default quota)")
+    p.add_argument("--write-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="slow-client policy: a client that cannot drain "
+                        "its socket within this loses its stream (the "
+                        "computation continues; results persist under "
+                        "--state)")
+    p.add_argument("--ready-file", default=None, metavar="PATH",
+                   help="touch PATH when ready, remove it when draining")
+    _add_trace(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = subparsers.add_parser(
+        "submit", help="submit work to a running serve instance")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="connect to a Unix socket at PATH")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--tenant", default="default",
+                   help="tenant name (quota namespace)")
+    p.add_argument("--id", required=True,
+                   help="request id (also the result/journal file stem, "
+                        "namespaced by tenant; resubmitting a plan id "
+                        "after a drain resumes its journal)")
+    p.add_argument("--scenario", default=None, metavar="SPEC.JSON",
+                   help="submit this scenario spec file inline")
+    p.add_argument("--plan", default=None, metavar="DIRECTORY",
+                   help="submit a sharded campaign over this scenario "
+                        "directory")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard override for --plan")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed override for --plan")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker override for --plan")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request time budget (late results degrade, "
+                        "queued-past-deadline units skip)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="client-side socket timeout")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after the admission verdict instead of "
+                        "waiting for completion")
+    p.add_argument("--json", action="store_true",
+                   help="print the terminal reply as one JSON line")
+    p.set_defaults(func=cmd_submit)
+
+    p = subparsers.add_parser(
+        "drain", help="gracefully drain a running serve instance")
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="return on the drain acknowledgement instead of "
+                        "waiting for the drain to finish")
+    p.set_defaults(func=cmd_drain)
 
     p = subparsers.add_parser(
         "trace", help="inspect repro-trace/v1 JSONL traces")

@@ -142,6 +142,53 @@ class WatchdogTimeout(CampaignError):
     """A worker exceeded its per-unit wall-clock watchdog and was killed."""
 
 
+class ServeError(ReproError):
+    """The attack-simulation service cannot accept or finish a request."""
+
+
+class ProtocolError(ServeError):
+    """A repro-serve/v1 message is malformed or out of sequence.
+
+    Raised server-side on unparseable lines, unknown message types and
+    missing required fields; surfaced to the client as a typed
+    ``error`` message rather than a dropped connection, so a buggy
+    client learns *what* it sent wrong.
+    """
+
+
+class QuotaExceeded(ServeError):
+    """A tenant asked for more than its admission quota allows.
+
+    Typed *rejection*, not failure: the request was never admitted, no
+    state changed, and ``retry_after_s`` (when set) hints when capacity
+    is likely to return.  ``tenant`` and ``quota`` name which limit was
+    hit (``units-in-flight``, ``requests-in-flight``, ``deadline``).
+    """
+
+    def __init__(self, message, tenant=None, quota=None,
+                 retry_after_s=None):
+        self.tenant = tenant
+        self.quota = quota
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class Overloaded(ServeError):
+    """The service shed this request to protect the work it already holds.
+
+    Raised when the bounded admission queue is full, when the circuit
+    breaker is open after backend failures, or when the server is
+    draining.  Like :class:`QuotaExceeded` this is a typed rejection:
+    nothing was admitted, and the client should back off for
+    ``retry_after_s`` (None means "after the drain completes").
+    """
+
+    def __init__(self, message, reason=None, retry_after_s=None):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
 class TraceError(ReproError):
     """A trace is malformed or the tracer was misused.
 

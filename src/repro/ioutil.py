@@ -21,7 +21,10 @@ the pre-injection one.
 
 import json
 import os
+import pathlib
+import shutil
 import tempfile
+import time
 
 
 def fsync_directory(path):
@@ -82,6 +85,45 @@ def write_json_atomic(path, obj, indent=2, sort_keys=True, faults=None):
     """
     text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
     return write_atomic(path, text, faults=faults)
+
+
+def prune_stale_artifacts(directory, patterns, max_age_s=3600.0, keep=4):
+    """Rotate crash debris out of a long-lived working directory.
+
+    Repeated crash-resume cycles (and SIGKILLed service hosts) leave
+    two kinds of orphans behind: ``*.tmp`` siblings from interrupted
+    atomic writes, and heartbeat directories from supervised pools
+    that never reached their cleanup.  This removes everything in
+    ``directory`` matching one of ``patterns`` that is older than
+    ``max_age_s`` -- except the newest ``keep`` matches, which are
+    retained regardless of age so a post-mortem always has the most
+    recent debris to look at.  Entries that are directories are
+    removed recursively.  Failures are ignored (pruning is hygiene,
+    never correctness); returns the list of removed paths.
+    """
+    directory = pathlib.Path(directory)
+    entries = []
+    for pattern in patterns:
+        for path in directory.glob(pattern):
+            try:
+                entries.append((path.stat().st_mtime, str(path), path))
+            except OSError:
+                continue
+    entries.sort(reverse=True)
+    now = time.time()
+    removed = []
+    for index, (mtime, _key, path) in enumerate(entries):
+        if index < keep or now - mtime < max_age_s:
+            continue
+        try:
+            if path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                path.unlink()
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
 
 
 def append_durable(handle, data, encoding="utf-8", faults=None):

@@ -32,6 +32,16 @@ DEPTH_BUCKETS = (1, 2, 3, 4, 5)
 #: bucket bounds (microseconds) for journal fsync latency
 FSYNC_US_BUCKETS = (50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000)
 
+#: bucket bounds for the serve admission queue depth, sampled at every
+#: admission decision (powers of two up to the default global bound)
+QUEUE_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+#: bucket bounds (milliseconds, wall clock by nature -- the name of any
+#: metric using them must carry ``wall``) for request latency
+REQUEST_WALL_MS_BUCKETS = (
+    5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram: counts of observations per bound.

@@ -1,0 +1,30 @@
+"""The multi-tenant attack-simulation service (``repro serve``).
+
+A thin, debuggable layer over the campaign fabric: newline-delimited
+JSON over a Unix/TCP socket (:mod:`repro.serve.protocol`), per-tenant
+admission quotas (:mod:`repro.serve.quota`), circuit breakers
+(:mod:`repro.serve.breaker`), the execution backend that reuses the
+campaign runners verbatim (:mod:`repro.serve.backend`), the server
+loop with graceful drain (:mod:`repro.serve.server`) and the blocking
+client (:mod:`repro.serve.client`).
+"""
+
+from repro.serve.backend import ServeBackend, Submission
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.client import ServeClient
+from repro.serve.protocol import PROTO
+from repro.serve.quota import QuotaLedger, TenantQuota, load_tenant_quotas
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "PROTO",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "QuotaLedger",
+    "ServeBackend",
+    "ServeClient",
+    "ServeServer",
+    "Submission",
+    "TenantQuota",
+    "load_tenant_quotas",
+]

@@ -1,0 +1,168 @@
+"""Per-tenant admission quotas: the service's first line of defense.
+
+A quota bounds what one tenant can hold *concurrently* -- admitted
+requests, in-flight units, and how long a deadline it may ask for --
+so a poisoned or greedy tenant saturates its own allowance, never the
+fabric.  Enforcement happens at admission time: a submit that would
+exceed the quota is rejected with a typed
+:class:`~repro.errors.QuotaExceeded` before any state changes, which
+is what makes rejections cheap, idempotent and safe to retry.
+
+The :class:`QuotaLedger` is the thread-safe scoreboard: ``admit`` is
+check-and-charge under one lock (no TOCTOU between the check and the
+charge), and every admit is paired with exactly one ``release`` when
+the request reaches its terminal outcome -- verdict delivered, stream
+dropped, or run interrupted by a drain.
+"""
+
+import threading
+
+from repro.errors import QuotaExceeded
+
+
+class TenantQuota:
+    """Admission limits for one tenant (or the default for all).
+
+    ``max_requests`` / ``max_units`` bound concurrently admitted
+    requests and in-flight scenario units; ``max_deadline_s`` caps the
+    per-request time budget a tenant may ask for (None = no cap) and
+    doubles as the default deadline for requests that name none.
+    """
+
+    __slots__ = ("name", "max_requests", "max_units", "max_deadline_s")
+
+    def __init__(self, name="default", max_requests=4, max_units=64,
+                 max_deadline_s=None):
+        self.name = name
+        self.max_requests = max(1, int(max_requests))
+        self.max_units = max(1, int(max_units))
+        self.max_deadline_s = max_deadline_s
+
+    def as_dict(self):
+        return {
+            "max_requests": self.max_requests,
+            "max_units": self.max_units,
+            "max_deadline_s": self.max_deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, name, data):
+        return cls(
+            name,
+            max_requests=data.get("max_requests", 4),
+            max_units=data.get("max_units", 64),
+            max_deadline_s=data.get("max_deadline_s"),
+        )
+
+
+class _Usage:
+    __slots__ = ("requests", "units", "admitted", "rejected")
+
+    def __init__(self):
+        self.requests = 0
+        self.units = 0
+        #: lifetime counters (health reporting)
+        self.admitted = 0
+        self.rejected = 0
+
+
+class QuotaLedger:
+    """Thread-safe per-tenant usage scoreboard.
+
+    ``tenants`` maps tenant name -> :class:`TenantQuota` for tenants
+    with explicit allowances; everyone else gets ``default``.  The
+    ledger never blocks: it admits or raises, immediately.
+    """
+
+    def __init__(self, default=None, tenants=None):
+        self.default = default or TenantQuota()
+        self.tenants = dict(tenants or {})
+        self._lock = threading.Lock()
+        self._usage = {}
+
+    def quota_for(self, tenant):
+        return self.tenants.get(tenant, self.default)
+
+    def admit(self, tenant, units, deadline_s=None):
+        """Charge ``tenant`` for one request of ``units`` units.
+
+        Returns the effective deadline (the requested one, or the
+        quota's cap when none was requested).  Raises
+        :class:`~repro.errors.QuotaExceeded` -- and charges nothing --
+        when any limit would be crossed.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            usage = self._usage.setdefault(tenant, _Usage())
+            if usage.requests + 1 > quota.max_requests:
+                usage.rejected += 1
+                raise QuotaExceeded(
+                    "tenant {} already holds {} of {} admitted requests"
+                    .format(tenant, usage.requests, quota.max_requests),
+                    tenant=tenant, quota="requests-in-flight",
+                    retry_after_s=1.0,
+                )
+            if usage.units + units > quota.max_units:
+                usage.rejected += 1
+                raise QuotaExceeded(
+                    "tenant {} holds {} in-flight units; {} more would "
+                    "exceed its quota of {}".format(
+                        tenant, usage.units, units, quota.max_units),
+                    tenant=tenant, quota="units-in-flight",
+                    retry_after_s=1.0,
+                )
+            if deadline_s is not None and quota.max_deadline_s is not None \
+                    and deadline_s > quota.max_deadline_s:
+                usage.rejected += 1
+                raise QuotaExceeded(
+                    "tenant {} asked for a {:g}s deadline; its time "
+                    "budget caps requests at {:g}s".format(
+                        tenant, deadline_s, quota.max_deadline_s),
+                    tenant=tenant, quota="deadline",
+                )
+            usage.requests += 1
+            usage.units += units
+            usage.admitted += 1
+        if deadline_s is None:
+            return quota.max_deadline_s
+        return deadline_s
+
+    def release(self, tenant, units):
+        """Return one request of ``units`` units to the tenant's budget."""
+        with self._lock:
+            usage = self._usage.get(tenant)
+            if usage is None:
+                return
+            usage.requests = max(0, usage.requests - 1)
+            usage.units = max(0, usage.units - units)
+
+    def snapshot(self):
+        """Per-tenant usage for health reporting (no locks held after)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "requests": usage.requests,
+                    "units": usage.units,
+                    "admitted": usage.admitted,
+                    "rejected": usage.rejected,
+                }
+                for tenant, usage in sorted(self._usage.items())
+            }
+
+
+def load_tenant_quotas(spec):
+    """Build ``(default, tenants)`` from a config mapping.
+
+    ``spec`` maps tenant name -> quota fields; the ``"default"`` entry
+    (when present) replaces the built-in default quota.  This is the
+    shape ``repro serve --tenants quotas.json`` loads.
+    """
+    default = TenantQuota()
+    tenants = {}
+    for name, fields in (spec or {}).items():
+        quota = TenantQuota.from_dict(name, fields or {})
+        if name == "default":
+            default = quota
+        else:
+            tenants[name] = quota
+    return default, tenants

@@ -1,0 +1,486 @@
+"""The long-running attack-simulation service.
+
+:class:`ServeServer` listens on a Unix (or TCP) socket, speaks
+:mod:`repro.serve.protocol`, and turns admitted submissions into work
+on a :class:`~repro.serve.backend.ServeBackend`.  One thread accepts,
+one thread per connection reads; everything else is event-driven
+callbacks out of the backend.  The robustness rules, in admission
+order:
+
+1. a **draining** server admits nothing (typed ``Overloaded``,
+   ``reason="draining"``);
+2. the **global circuit breaker** sheds wholesale
+   (``reason="circuit-open"``, with ``retry_after_s`` from the
+   cooldown); per-shard breakers never shed -- they mark the admission
+   *degraded*, because the fabric's survivors still absorb a
+   quarantined shard's units;
+3. the **global queue bound** rejects what would overcommit the
+   service (``reason="queue-full"``);
+4. the **tenant quota** rejects what would overcommit the tenant
+   (typed ``QuotaExceeded`` with the exhausted dimension).
+
+Every admitted request is released exactly once -- verdict sent,
+stream dead, or drain -- so quotas cannot leak.  Slow clients hit the
+per-send write timeout: the stream is dropped (socket closed, events
+discarded) but the computation keeps its course and its result is
+already persisted under the state directory.
+
+SIGTERM/SIGINT (via :meth:`serve_forever`) triggers the graceful
+drain: stop admitting, let the backend finish or journal everything
+in flight, notify connected clients, seal up, exit cleanly.
+"""
+
+import os
+import pathlib
+import signal
+import socket
+import threading
+import time
+
+from repro.errors import Overloaded, ProtocolError, ReproError, ServeError
+from repro.obs.metrics import QUEUE_DEPTH_BUCKETS, REQUEST_WALL_MS_BUCKETS
+from repro.obs.trace import NULL_TRACER
+from repro.serve import protocol
+from repro.serve.backend import ServeBackend, Submission
+from repro.serve.quota import QuotaLedger
+
+
+class _Connection:
+    """One client session: a reader thread plus a locked writer."""
+
+    def __init__(self, server, sock, peer):
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self.tenant = None
+        self.alive = True
+        self._send_lock = threading.Lock()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._read_loop,
+            name="repro-serve-conn-{}".format(self.peer), daemon=True,
+        )
+        self._thread.start()
+
+    # -- writing ---------------------------------------------------------------
+
+    def send(self, message):
+        """Write one message; a slow or dead client drops the stream.
+
+        Returns False once the stream is gone.  The write timeout is
+        the whole slow-client policy: a client that cannot drain its
+        socket within ``write_timeout_s`` loses its event stream (and
+        its connection), never the server a buffer.
+        """
+        if not self.alive:
+            return False
+        try:
+            data = protocol.encode(message)
+        except ProtocolError:
+            return False
+        with self._send_lock:
+            if not self.alive:
+                return False
+            try:
+                self.sock.settimeout(self.server.write_timeout_s)
+                self.sock.sendall(data)
+                return True
+            except (socket.timeout, OSError):
+                self.server.count("serve.streams_dropped")
+                self.close()
+                return False
+
+    def close(self):
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.server._forget(self)
+
+    # -- reading ---------------------------------------------------------------
+
+    def _read_loop(self):
+        buffer = b""
+        self.sock.settimeout(0.5)
+        try:
+            while self.alive:
+                try:
+                    chunk = self.sock.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                if len(buffer) > protocol.MAX_LINE_BYTES:
+                    self.send(protocol.error(
+                        "line exceeds the {} byte cap"
+                        .format(protocol.MAX_LINE_BYTES)
+                    ))
+                    break
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    if not self._dispatch(line):
+                        return
+        finally:
+            self.close()
+
+    def _dispatch(self, line):
+        """Handle one wire line; False ends the session."""
+        try:
+            message = protocol.validate_client(protocol.parse_line(line))
+        except ProtocolError as error:
+            self.send(protocol.error(str(error)))
+            return True
+        kind = message["type"]
+        if kind == "bye":
+            return False
+        if kind == "health":
+            self.send(self.server.health())
+            return True
+        if kind == "drain":
+            self.send({"type": "draining"})
+            self.server.drain_async()
+            return True
+        if kind == "hello":
+            self.tenant = message["tenant"]
+            self.send(protocol.welcome(self.server.server_meta(self.tenant)))
+            return True
+        # submit
+        if self.tenant is None:
+            self.send(protocol.error("submit before hello"))
+            return True
+        self.server.handle_submit(self, message)
+        return True
+
+
+class ServeServer:
+    """The service: listener + admission control over a ServeBackend.
+
+    ``socket_path`` selects a Unix socket; ``host``/``port`` a TCP one
+    (``port=0`` binds an ephemeral port -- see :attr:`address`).
+    ``max_queue`` bounds globally admitted units across all tenants;
+    ``write_timeout_s`` is the slow-client stream policy; ``ready_file``
+    (optional) is touched when the server is ready and removed when it
+    drains, for supervisors that watch the filesystem.
+    """
+
+    def __init__(self, backend=None, ledger=None, socket_path=None,
+                 host="127.0.0.1", port=0, max_queue=256,
+                 write_timeout_s=5.0, ready_file=None, obs=None,
+                 state_dir=None):
+        if backend is None:
+            if state_dir is None:
+                raise ServeError("a server needs a backend or a state_dir")
+            backend = ServeBackend(state_dir)
+        self.backend = backend
+        self.ledger = ledger if ledger is not None else QuotaLedger()
+        self.breakers = backend.breakers
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.max_queue = max(1, max_queue)
+        self.write_timeout_s = write_timeout_s
+        self.ready_file = None if ready_file is None \
+            else pathlib.Path(ready_file)
+        self.obs = obs if obs is not None else NULL_TRACER
+        self._obs_lock = threading.Lock()
+        self._listener = None
+        self._accept_thread = None
+        self._connections = set()
+        self._conn_lock = threading.Lock()
+        self._admit_lock = threading.Lock()
+        self._units_admitted = 0
+        self._started = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._stop = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self):
+        """Where clients connect: the socket path, or ``(host, port)``."""
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return self._listener.getsockname() if self._listener else None
+
+    def start(self):
+        """Bind, listen, start the backend; returns the bound address."""
+        if self.socket_path is not None:
+            path = pathlib.Path(self.socket_path)
+            if path.exists():
+                # a stale socket from a crashed incarnation; refuse to
+                # steal one something is still listening on
+                probe = socket.socket(socket.AF_UNIX)
+                try:
+                    probe.settimeout(0.5)
+                    probe.connect(str(path))
+                except OSError:
+                    path.unlink()
+                else:
+                    probe.close()
+                    raise ServeError(
+                        "socket {} already has a live server".format(path)
+                    )
+                finally:
+                    probe.close()
+            listener = socket.socket(socket.AF_UNIX)
+            listener.bind(str(path))
+        else:
+            listener = socket.socket(socket.AF_INET)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.settimeout(0.5)
+        self._listener = listener
+        self.backend.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True,
+        )
+        self._accept_thread.start()
+        self._started.set()
+        if self.ready_file is not None:
+            self.ready_file.write_text("ready\n")
+        return self.address
+
+    def serve_forever(self, install_signals=True):
+        """Run until stopped; SIGTERM/SIGINT drain gracefully.  Returns 0."""
+        if install_signals:
+            def _on_signal(signum, frame):
+                self._stop.set()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    signal.signal(signum, _on_signal)
+                except ValueError:
+                    pass  # not the main thread; supervisor calls drain()
+        while not self._stop.wait(0.2):
+            if self._drained.is_set():
+                return 0
+        self.drain()
+        return 0
+
+    def drain_async(self):
+        """Kick a drain without blocking the caller (client ``drain``)."""
+        self._stop.set()
+        threading.Thread(target=self.drain, name="repro-serve-drain",
+                         daemon=True).start()
+
+    def drain(self, timeout=None):
+        """Graceful shutdown: stop admitting, finish in-flight, seal, close."""
+        with self._drain_lock:
+            first = not self._draining.is_set()
+            self._draining.set()
+        if not first:
+            self._drained.wait(timeout)
+            return
+        self._stop.set()
+        if self.ready_file is not None:
+            try:
+                self.ready_file.unlink()
+            except OSError:
+                pass
+        self._broadcast({"type": "draining"})
+        self.backend.drain(timeout=timeout)
+        self._broadcast({"type": "drained"})
+        self._close_listener()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        self._drained.set()
+
+    def close(self):
+        """Hard stop for tests: no graceful anything."""
+        self._draining.set()
+        self._drained.set()
+        self._stop.set()
+        self._close_listener()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+
+    def _close_listener(self):
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                pathlib.Path(self.socket_path).unlink()
+            except OSError:
+                pass
+
+    # -- connections -----------------------------------------------------------
+
+    def _accept_loop(self):
+        peer = 0
+        while not self._drained.is_set():
+            try:
+                sock, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            peer += 1
+            connection = _Connection(self, sock, peer)
+            with self._conn_lock:
+                self._connections.add(connection)
+            connection.start()
+
+    def _forget(self, connection):
+        with self._conn_lock:
+            self._connections.discard(connection)
+
+    def _broadcast(self, message):
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.send(message)
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self, tenant, units, deadline_s=None):
+        """Run the full admission ladder; returns the effective deadline.
+
+        Raises :class:`Overloaded` (draining / circuit-open /
+        queue-full) or :class:`QuotaExceeded` -- always typed, always
+        before any state changes the caller would have to undo.
+        """
+        if self._draining.is_set():
+            raise Overloaded("server is draining", reason="draining")
+        if not self.breakers.backend.allow():
+            raise Overloaded(
+                "backend circuit breaker is open",
+                reason="circuit-open",
+                retry_after_s=round(self.breakers.backend.retry_after_s(), 3),
+            )
+        with self._admit_lock:
+            if self._units_admitted + units > self.max_queue:
+                raise Overloaded(
+                    "admitting {} units would exceed the global bound "
+                    "of {} ({} admitted)".format(
+                        units, self.max_queue, self._units_admitted),
+                    reason="queue-full", retry_after_s=1.0,
+                )
+            deadline_s = self.ledger.admit(tenant, units, deadline_s)
+            self._units_admitted += units
+            depth = self._units_admitted
+        if self.obs.enabled:
+            with self._obs_lock:
+                self.obs.metrics.observe("serve.queue_depth", depth,
+                                         buckets=QUEUE_DEPTH_BUCKETS)
+        return deadline_s
+
+    def release(self, tenant, units):
+        with self._admit_lock:
+            self._units_admitted = max(0, self._units_admitted - units)
+        self.ledger.release(tenant, units)
+
+    def count(self, name, amount=1):
+        if self.obs.enabled:
+            with self._obs_lock:
+                self.obs.metrics.inc(name, amount)
+
+    # -- request handling ------------------------------------------------------
+
+    def handle_submit(self, connection, message):
+        tenant = connection.tenant
+        request_id = message["id"]
+        scenario = message.get("scenario")
+        plan = message.get("plan")
+        try:
+            units = 1 if scenario is not None else self._plan_units(plan)
+            deadline_s = self.admit(tenant, units,
+                                    message.get("deadline_s"))
+        except ReproError as error:
+            self.count("serve.rejected")
+            connection.send(protocol.rejected(request_id, error))
+            return
+        admitted_at = time.monotonic()
+        sub = Submission(
+            "{}.{}".format(tenant, request_id), tenant, request_id,
+            "scenario" if scenario is not None else "plan", units,
+            deadline_s=deadline_s,
+            on_event=lambda kind, fields, c=connection, r=request_id:
+                c.send(protocol.event(r, kind, **fields)),
+            on_done=lambda s, c=connection, t0=admitted_at:
+                self._finish_submission(c, s, t0),
+        )
+        try:
+            if scenario is not None:
+                self.backend.submit_scenario(sub, scenario)
+            else:
+                self.backend.submit_plan(sub, plan)
+        except ReproError as error:
+            self.release(tenant, units)
+            self.count("serve.rejected")
+            connection.send(protocol.rejected(request_id, error))
+            return
+        self.count("serve.admitted")
+        degrade = self.breakers.degraded_shards()
+        connection.send(protocol.accepted(
+            request_id, self.backend.queue_depth(),
+            degrade=["shard-{}".format(i) for i in degrade] or None,
+        ))
+
+    def _plan_units(self, plan):
+        from repro.campaign.runner import plan_units
+        return len(plan_units(plan["directory"]))
+
+    def _finish_submission(self, connection, sub, admitted_at):
+        """Terminal hook: quota back first, then the verdict (best effort).
+
+        Releasing before sending keeps the ledger consistent with what
+        the client observes: by the time the verdict line arrives, the
+        request no longer holds quota.
+        """
+        self.release(sub.tenant, sub.units)
+        self.count("serve.finished")
+        if self.obs.enabled:
+            with self._obs_lock:
+                self.obs.metrics.observe(
+                    "serve.request_wall_ms",
+                    (time.monotonic() - admitted_at) * 1000.0,
+                    buckets=REQUEST_WALL_MS_BUCKETS,
+                )
+        connection.send(protocol.verdict(sub.request_id, **sub.verdict))
+
+    # -- introspection ---------------------------------------------------------
+
+    def server_meta(self, tenant):
+        return {
+            "shards": self.backend.shards,
+            "jobs": self.backend.jobs,
+            "quota": self.ledger.quota_for(tenant).as_dict(),
+            "max_queue": self.max_queue,
+        }
+
+    def health(self):
+        """The health/readiness document (also the ``health`` reply)."""
+        with self._admit_lock:
+            admitted = self._units_admitted
+        return {
+            "type": "health",
+            "proto": protocol.PROTO,
+            "status": "draining" if self._draining.is_set() else "ok",
+            "ready": self._started.is_set()
+            and not self._draining.is_set(),
+            "shards": self.backend.shards,
+            "queue": {
+                "units_admitted": admitted,
+                "max": self.max_queue,
+                "executor": self.backend.queue_depth(),
+            },
+            "breakers": self.breakers.as_dict(),
+            "tenants": self.ledger.snapshot(),
+        }

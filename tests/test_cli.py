@@ -125,3 +125,100 @@ class TestChaosCommand:
         assert main(["chaos", "kaslr", "--profile", "nope"]) == 2
         record = json.loads(capsys.readouterr().err.strip())
         assert record["error"] == "ConfigError"
+
+
+class TestCampaignFsckCLI:
+    """`repro campaign fsck --rebuild`: golden salvage report + errors."""
+
+    def _run_small_campaign(self, tmp_path):
+        import json
+
+        scenarios = tmp_path / "scenarios"
+        scenarios.mkdir()
+        for index in range(2):
+            (scenarios / "u{}.json".format(index)).write_text(json.dumps({
+                "name": "u{}".format(index),
+                "machine": {"os": "linux", "cpu": "i5-12400F",
+                            "seed": index},
+                "attack": {"kind": "kaslr", "params": {"trials": 2}},
+                "expect": {"correct": True},
+            }))
+        journal = tmp_path / "c.jsonl"
+        assert main(["campaign", "run", str(scenarios),
+                     "--journal", str(journal), "--jobs", "1"]) == 0
+        return journal
+
+    def _corrupt_line(self, journal, predicate):
+        """Break the checksum of the first line matching ``predicate``."""
+        import json
+
+        lines = journal.read_bytes().splitlines(keepends=True)
+        for number, line in enumerate(lines, start=1):
+            record = json.loads(line)
+            if predicate(record):
+                lines[number - 1] = line.replace(b'"type"', b'"tyqe"', 1)
+                journal.write_bytes(b"".join(lines))
+                return number
+        raise AssertionError("no line matched")
+
+    def test_rebuild_emits_golden_salvage_report(self, tmp_path, capsys):
+        import json
+
+        journal = self._run_small_campaign(tmp_path)
+        capsys.readouterr()
+        damaged_line = self._corrupt_line(
+            journal,
+            lambda r: r.get("type") == "unit-finish"
+            and r.get("unit") == "u1",
+        )
+
+        assert main(["campaign", "fsck", str(journal), "--rebuild"]) == 1
+        out = capsys.readouterr().out
+        expected_lines = [
+            "quarantined  {}  (5 records, 1 done / 0 skipped / "
+            "1 incomplete)".format(journal),
+            "  line {}: checksum mismatch".format(damaged_line),
+            "  quarantined to {}.corrupt".format(journal),
+            "  salvage report: {}.salvage.json".format(journal),
+            "  rebuilt {} from 5 intact records".format(journal),
+        ]
+        assert out.splitlines() == expected_lines
+
+        salvage = json.loads(
+            (tmp_path / "c.jsonl.salvage.json").read_text()
+        )
+        assert salvage == {
+            "schema": "repro-campaign-salvage/v1",
+            "journal": str(journal),
+            "records": 5,
+            "damage": [{"line": damaged_line,
+                        "reason": "checksum mismatch"}],
+            "status": "quarantined",
+            "units": {"done": 1, "skipped": 0, "incomplete": 1},
+            "finished": True,
+            "quarantined_to": str(journal) + ".corrupt",
+            "rebuilt": str(journal),
+        }
+        # the rebuilt journal resumes cleanly, minus only the damage
+        capsys.readouterr()
+        assert main(["campaign", "resume", str(journal),
+                     "--jobs", "1"]) == 0
+
+    def test_clean_journal_reports_ok(self, tmp_path, capsys):
+        journal = self._run_small_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign", "fsck", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ok")
+        assert "6 records" in out and "2 done" in out
+
+    def test_unreadable_journal_is_a_structured_error(self, tmp_path,
+                                                      capsys):
+        import json
+
+        unreadable = tmp_path / "dir-as-journal.jsonl"
+        unreadable.mkdir()
+        assert main(["campaign", "fsck", str(unreadable)]) == 2
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["error"] == "CampaignError"
+        assert "cannot read journal" in record["message"]

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for `repro serve` (CI's serve-smoke job).
+
+One script, four phases, real processes and real sockets throughout:
+
+* **setup** -- a 24-unit plan directory and a tenant quota config with
+  three tenants: `alice` (well-behaved), `bob` (slow reader: submits
+  and never reads its stream), `carol` (quota of one in-flight
+  request, hammered by six concurrent connections).
+* **load** -- start a 4-shard server, fire 50 concurrent submissions
+  from the three tenants, submit a campaign plan, SIGTERM the server
+  while the plan is streaming, and require a clean drain: exit code 0,
+  zero orphan processes in the server's process group, a typed
+  outcome for every well-behaved request, at least one typed quota
+  rejection for carol, and a persisted result for every submission
+  bob abandoned.
+* **finish** -- restart the server on the same state directory and
+  resubmit the same plan id: the journal left by the drain must
+  *resume*, not re-run, and `repro drain` must shut the server down
+  cleanly again.
+* **verify** -- the served plan store must equal an offline
+  `ShardedCampaignRunner` store for the same directory, shards and
+  seed, modulo `generated_at` / `wall_elapsed_s`, compared by sha256.
+
+Run locally:  python tools/serve_smoke.py
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import ShardedCampaignRunner  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+TMP = pathlib.Path(os.environ.get("SERVE_SMOKE_DIR", "/tmp/serve-smoke"))
+SOCKET = TMP / "serve.sock"
+STATE = TMP / "state"
+PLAN_DIR = TMP / "plan"
+TENANTS_JSON = TMP / "tenants.json"
+
+SHARDS = 4
+JOBS = 4
+SEED = 9
+PLAN_UNITS = 24
+BOB_SUBMITS = 12
+
+
+def scenario(name, seed, trials=1):
+    return {
+        "name": name,
+        "machine": {"os": "linux", "cpu": "i5-12400F", "seed": seed},
+        "attack": {"kind": "kaslr", "params": {"trials": trials}},
+        "expect": {"correct": True},
+    }
+
+
+def setup():
+    if TMP.exists():
+        shutil.rmtree(TMP)
+    PLAN_DIR.mkdir(parents=True)
+    for index in range(PLAN_UNITS):
+        name = "unit-{:02d}".format(index)
+        (PLAN_DIR / (name + ".json")).write_text(
+            json.dumps(scenario(name, 1000 + index, trials=3))
+        )
+    TENANTS_JSON.write_text(json.dumps({
+        "alice": {"max_requests": 8, "max_units": 256},
+        "bob": {"max_requests": 16, "max_units": 64},
+        "carol": {"max_requests": 1, "max_units": 8},
+    }))
+    print("setup: {} plan units, 3 tenants".format(PLAN_UNITS))
+
+
+def start_server(ready_name):
+    ready = TMP / ready_name
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", str(SOCKET), "--state", str(STATE),
+         "--shards", str(SHARDS), "--jobs", str(JOBS),
+         "--seed", str(SEED), "--max-queue", "512",
+         "--watchdog", "120",
+         "--tenants", str(TENANTS_JSON), "--ready-file", str(ready)],
+        env=dict(os.environ, PYTHONPATH=str(REPO / "src")),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        start_new_session=True,
+    )
+    deadline = time.time() + 60
+    while not ready.exists():
+        if proc.poll() is not None:
+            sys.exit("server died on startup:\n"
+                     + proc.stdout.read().decode())
+        if time.time() > deadline:
+            sys.exit("server never became ready")
+        time.sleep(0.05)
+    return proc
+
+
+def wait_clean_exit(proc, what):
+    code = proc.wait(timeout=180)
+    output = proc.stdout.read().decode()
+    if code != 0:
+        sys.exit("{}: server exited {} (want 0):\n{}".format(
+            what, code, output))
+    # a graceful drain reaps every worker: nothing may survive in the
+    # server's process group
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        try:
+            os.killpg(proc.pid, 0)
+        except ProcessLookupError:
+            print("{}: clean exit 0, zero orphans".format(what))
+            return
+        time.sleep(0.2)
+    os.killpg(proc.pid, signal.SIGKILL)
+    sys.exit("{}: orphan processes survived the drain".format(what))
+
+
+def load_phase(proc):
+    outcomes = []
+    lock = threading.Lock()
+
+    def record(tenant, reply):
+        with lock:
+            outcomes.append((tenant, reply))
+
+    def alice_load(rank):
+        with ServeClient(str(SOCKET), timeout_s=120).connect("alice") as c:
+            for index in range(5):
+                rid = "a{}-{}".format(rank, index)
+                spec = scenario(rid, 10 * rank + index)
+                record("alice", c.submit(rid, scenario=spec))
+
+    def carol_load(rank):
+        with ServeClient(str(SOCKET), timeout_s=120).connect("carol") as c:
+            for index in range(3):
+                rid = "c{}-{}".format(rank, index)
+                spec = scenario(rid, 50 * rank + index)
+                record("carol", c.submit(rid, scenario=spec))
+
+    def bob_load(rank):
+        # the slow reader: submit, read nothing, walk away.  The
+        # server must drop the stream, not the computation.
+        client = ServeClient(str(SOCKET), timeout_s=120).connect("bob")
+        rid = "b{}".format(rank)
+        client.send({"type": "submit", "id": rid,
+                     "scenario": scenario(rid, 900 + rank)})
+        time.sleep(1.0)
+        client.sock.close()
+
+    threads = (
+        [threading.Thread(target=alice_load, args=(r,)) for r in range(4)]
+        + [threading.Thread(target=carol_load, args=(r,)) for r in range(6)]
+        + [threading.Thread(target=bob_load, args=(r,))
+           for r in range(BOB_SUBMITS)]
+    )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    alice = [r for t, r in outcomes if t == "alice"]
+    carol = [r for t, r in outcomes if t == "carol"]
+    assert len(alice) == 20 and len(carol) == 18, (len(alice), len(carol))
+    for reply in alice:
+        assert reply["type"] == "verdict" and reply["status"] == "done", reply
+    rejected = [r for r in carol if r["type"] == "rejected"]
+    for reply in carol:
+        assert reply["type"] in ("verdict", "rejected"), reply
+    assert rejected, "carol was never rejected under 6x quota pressure"
+    for reply in rejected:
+        assert reply["error"] == "QuotaExceeded" and reply["quota"], reply
+    print("load: 50 submissions, alice 20/20 done, carol {} typed "
+          "rejections".format(len(rejected)))
+
+    # the plan, then SIGTERM while its verdict stream is in flight
+    planner = ServeClient(str(SOCKET), timeout_s=120).connect("alice")
+    reply = planner.submit(
+        "plan-1",
+        plan={"directory": str(PLAN_DIR), "shards": SHARDS, "seed": SEED},
+        wait=False,
+    )
+    assert reply["type"] == "accepted", reply
+    # unit-finish records land in the shard journals; the coordinator
+    # journal holds campaign-start / steal / campaign-finish only
+    deadline = time.time() + 120
+    while True:
+        journals = sorted((STATE / "plans").glob("alice.plan-1*.jsonl"))
+        if any(b"unit-finish" in j.read_bytes() for j in journals):
+            break
+        if time.time() > deadline:
+            sys.exit("plan never started finishing units")
+        time.sleep(0.02)
+    os.kill(proc.pid, signal.SIGTERM)
+    wait_clean_exit(proc, "load")
+    planner.sock.close()
+
+    # every submission bob abandoned still ran and persisted
+    bob_results = sorted((STATE / "results").glob("bob.b*.json"))
+    assert len(bob_results) == BOB_SUBMITS, \
+        "want {} persisted bob results, found {}".format(
+            BOB_SUBMITS, len(bob_results))
+    print("load: all {} slow-reader results persisted".format(BOB_SUBMITS))
+
+
+def finish_phase():
+    proc = start_server("ready-2")
+    with ServeClient(str(SOCKET), timeout_s=300).connect("alice") as client:
+        verdict = client.submit(
+            "plan-1",
+            plan={"directory": str(PLAN_DIR), "shards": SHARDS,
+                  "seed": SEED},
+        )
+    assert verdict["type"] == "verdict" and verdict["status"] == "done", \
+        verdict
+    assert verdict["ok"], verdict
+    drain = subprocess.run(
+        [sys.executable, "-m", "repro", "drain", "--socket", str(SOCKET)],
+        env=dict(os.environ, PYTHONPATH=str(REPO / "src")),
+    )
+    assert drain.returncode == 0, drain.returncode
+    wait_clean_exit(proc, "finish")
+    print("finish: plan resumed to done after restart")
+    return pathlib.Path(verdict["store"])
+
+
+def digest(store):
+    store = dict(store)
+    store.pop("generated_at")
+    store.pop("wall_elapsed_s")
+    blob = json.dumps(store, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def verify_phase(store_path):
+    offline = ShardedCampaignRunner(
+        TMP / "offline.jsonl", directory=str(PLAN_DIR),
+        shards=SHARDS, jobs=JOBS, seed=SEED, watchdog_s=120.0,
+    ).run()
+    assert offline.ok, offline.summary
+    served = json.loads(store_path.read_text())
+    a, b = digest(served), digest(offline.store)
+    assert a == b, "served {} != offline {}".format(a, b)
+    print("verify: served and offline stores sha256-identical:", a)
+    print(json.dumps(served["summary"], sort_keys=True))
+
+
+def main():
+    setup()
+    proc = start_server("ready-1")
+    load_phase(proc)
+    store_path = finish_phase()
+    verify_phase(store_path)
+    print("serve smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
