@@ -10,7 +10,12 @@ Unix socket:
   service versus the same directory run offline on an identical
   4-shard fabric.  The service adds admission, quota accounting and
   event streaming around the exact same runner, so its per-unit cost
-  must stay within the 1.15x budget.
+  must stay within the 1.15x budget;
+* **fairness cost** -- two weighted tenants pipelining cheap noop
+  units against the fair-share scheduler, then the same contention
+  against a FIFO-mode backend.  Records each tenant's p99 queue wait
+  and the weight-normalized dispatch ratio observed mid-contention,
+  and asserts fair-share dispatch costs at most 1.10x of FIFO.
 
 The numbers land in ``BENCH_serve.json`` at the repo root so the
 service-overhead trajectory is tracked from this change onward.
@@ -27,8 +32,10 @@ from _bench_utils import once
 from repro.analysis.report import format_table
 from repro.campaign import ShardedCampaignRunner
 from repro.ioutil import write_json_atomic
-from repro.serve import QuotaLedger, ServeBackend, ServeClient, \
-    ServeServer, TenantQuota
+from repro.serve import FairShareScheduler, OverloadGovernor, \
+    QuotaLedger, ServeBackend, ServeClient, ServeServer, TenantQuota
+from repro.serve import scheduler as serve_scheduler
+from repro.serve.soak import noop_scenario
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_serve.json"
@@ -43,6 +50,12 @@ REQUESTS_PER_TENANT = 8
 PLAN_UNITS = 16
 #: serve per-unit cost budget relative to the offline fabric
 BUDGET_X = 1.15
+#: fairness measurement: two weighted tenants pipelining noop units
+FAIR_WEIGHTS = {"gold": 2.0, "silver": 1.0}
+FAIR_UNITS = 96
+FAIR_WINDOW = 12
+#: fair-share dispatch cost budget relative to FIFO on the same load
+FAIRSHARE_BUDGET_X = 1.10
 
 
 def _write_plan(directory, count):
@@ -171,6 +184,136 @@ def _bench_plan(server, tmp):
     }
 
 
+def _fair_server(tmp, name, mode):
+    backend = ServeBackend(tmp / (name + "-state"), shards=2, jobs=2,
+                           watchdog_s=120.0,
+                           scheduler=FairShareScheduler(mode=mode))
+    ledger = QuotaLedger(
+        TenantQuota(max_requests=256, max_units=4096),
+        {tenant: TenantQuota(name=tenant, max_requests=256,
+                             max_units=4096, weight=weight)
+         for tenant, weight in FAIR_WEIGHTS.items()},
+    )
+    # the subject is dispatch order, not shedding: no watermarks, so
+    # the deep pipelines are never refused
+    server = ServeServer(backend, ledger,
+                         socket_path=str(tmp / (name + ".sock")),
+                         max_queue=1024, governor=OverloadGovernor([]))
+    server.start()
+    return server
+
+
+def _pipelined_contention(server):
+    """Both tenants keep FAIR_WINDOW submits in flight until done.
+
+    Returns the wall time, a scheduler snapshot taken mid-drain while
+    the pipelines still contend (after the join everyone has finished
+    and the dispatch ratio is trivially flat), and the final snapshot
+    (whose wait percentiles cover every unit).
+    """
+    done = {tenant: 0 for tenant in FAIR_WEIGHTS}
+    lock = threading.Lock()
+    errors = []
+
+    def tenant_load(tenant, offset):
+        try:
+            with ServeClient(server.address).connect(tenant) as client:
+                outstanding = set()
+                sent = 0
+                while sent < FAIR_UNITS or outstanding:
+                    while sent < FAIR_UNITS \
+                            and len(outstanding) < FAIR_WINDOW:
+                        rid = "f{}".format(sent)
+                        client.send({
+                            "type": "submit", "id": rid,
+                            "scenario": noop_scenario(
+                                "{}-{}".format(tenant, sent),
+                                offset + sent, spin=64),
+                        })
+                        outstanding.add(rid)
+                        sent += 1
+                    reply = client.recv()
+                    rid = reply.get("id")
+                    kind = reply.get("type")
+                    if rid not in outstanding or kind not in (
+                            "verdict", "rejected"):
+                        continue  # accepted acks, unit event stream
+                    if kind != "verdict" or reply.get("status") != "done":
+                        raise AssertionError(repr(reply))
+                    outstanding.discard(rid)
+                    with lock:
+                        done[tenant] += 1
+        except Exception as exc:
+            with lock:
+                errors.append("{}: {!r}".format(tenant, exc))
+
+    threads = [
+        threading.Thread(target=tenant_load, args=(tenant, 1000 * rank))
+        for rank, tenant in enumerate(sorted(FAIR_WEIGHTS))
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    mid = None
+    total = FAIR_UNITS * len(FAIR_WEIGHTS)
+    while mid is None and any(t.is_alive() for t in threads):
+        time.sleep(0.005)
+        with lock:
+            finished = sum(done.values())
+        if finished >= total // 2:
+            mid = server.backend.scheduler.snapshot()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    assert not errors, errors[:3]
+    if mid is None:
+        mid = server.backend.scheduler.snapshot()
+    return wall_s, mid, server.backend.scheduler.snapshot()
+
+
+def _bench_fairness(tmp):
+    """Weighted contention under fair-share, then the FIFO control arm."""
+    fair = _fair_server(tmp, "fair", serve_scheduler.FAIR)
+    try:
+        fair_s, mid, final = _pipelined_contention(fair)
+    finally:
+        fair.drain(timeout=300.0)
+
+    fifo = _fair_server(tmp, "fifo", serve_scheduler.FIFO)
+    try:
+        fifo_s, _, _ = _pipelined_contention(fifo)
+    finally:
+        fifo.drain(timeout=300.0)
+
+    shares = {
+        tenant: mid["tenants"].get(tenant, {}).get("dispatched", 0)
+        / weight
+        for tenant, weight in FAIR_WEIGHTS.items()
+    }
+    floor = min(shares.values())
+    ratio = round(max(shares.values()) / floor, 3) if floor > 0 \
+        else float("inf")
+    return {
+        "tenants": {
+            tenant: {
+                "weight": FAIR_WEIGHTS[tenant],
+                "dispatched_mid": mid["tenants"]
+                .get(tenant, {}).get("dispatched", 0),
+                "p99_wait_ms": final["tenants"]
+                .get(tenant, {}).get("p99_wait_ms", 0.0),
+            }
+            for tenant in sorted(FAIR_WEIGHTS)
+        },
+        "units_per_tenant": FAIR_UNITS,
+        "window": FAIR_WINDOW,
+        "fairness_ratio": ratio,
+        "fair_s": round(fair_s, 4),
+        "fifo_s": round(fifo_s, 4),
+        "fairshare_cost_x": round(fair_s / fifo_s, 3),
+        "budget_x": FAIRSHARE_BUDGET_X,
+    }
+
+
 def run_serve_bench():
     with tempfile.TemporaryDirectory() as tmp:
         tmp = pathlib.Path(tmp)
@@ -180,13 +323,16 @@ def run_serve_bench():
             plan = _bench_plan(server, tmp)
         finally:
             server.drain(timeout=300.0)
+        fairness = _bench_fairness(tmp)
 
     # the service is a thin layer: admission + streaming must not tax
     # the fabric beyond its budget
     assert plan["overhead_x"] <= plan["budget_x"], plan
+    # deficit round-robin bookkeeping must stay in the dispatch noise
+    assert fairness["fairshare_cost_x"] <= fairness["budget_x"], fairness
 
     write_json_atomic(BENCH_JSON, {
-        "throughput": throughput, "plan": plan,
+        "throughput": throughput, "plan": plan, "fairness": fairness,
     }, indent=2)
 
     rows = [
@@ -198,6 +344,10 @@ def run_serve_bench():
          plan["units"], plan["served_s"],
          "{}x offline ({}s)".format(plan["overhead_x"],
                                     plan["offline_s"])],
+        ["fair-share vs fifo (2 tenants)",
+         FAIR_UNITS * len(FAIR_WEIGHTS), fairness["fair_s"],
+         "{}x fifo, ratio {}".format(fairness["fairshare_cost_x"],
+                                     fairness["fairness_ratio"])],
     ]
     return format_table(["workload", "n", "seconds", "rate"], rows)
 

@@ -51,6 +51,21 @@ SKIPPED = "skipped"
 STALE_AFTER_S = 5.0
 
 
+def seeded_jitter(seed, key, n):
+    """Deterministic jitter factor in ``[1, 2)``.
+
+    A pure function of ``(seed, key, n)`` -- the same triple always
+    draws the same factor, so retry/backoff schedules built on it are
+    reproducible run-to-run while different keys still spread out
+    instead of thundering in lockstep.  Shared by the pool's retry
+    backoff and the serve client's refusal backoff.
+    """
+    draw = zlib.crc32(
+        "{}:{}:{}".format(seed, key, n).encode("utf-8")
+    ) / float(0xFFFFFFFF)
+    return 1.0 + draw
+
+
 class PoolOutcome:
     """Terminal state of one unit.
 
@@ -173,7 +188,7 @@ class SupervisedPool:
 
     def run(self, units, worker, deadline=None, on_start=None,
             on_finish=None, on_retry=None, on_skip=None, feed=None,
-            drain=None):
+            feed_priority=None, drain=None):
         """Run ``(unit_id, payload)`` pairs; return {unit_id: PoolOutcome}.
 
         Callbacks (all optional) fire in the parent, in submission
@@ -190,6 +205,15 @@ class SupervisedPool:
         exhausted for good.  The initial ``units`` list still runs
         first; a shard passes ``units=[]`` and lives entirely off its
         coordinator's feed.
+
+        ``feed_priority`` (optional) is a key function ``(unit_id,
+        payload) -> sortable`` applied to the *pending* queue after
+        each feed batch lands: lower keys launch first.  The sort is
+        stable, so equal keys keep the order the feed produced them
+        in; in-flight and backoff-waiting units are unaffected.  The
+        serve backend uses this to launch urgent-deadline, higher-
+        priority submissions ahead of batch work the fair-share
+        scheduler released in the same breath.
 
         ``drain`` (optional) is a ``threading.Event``: once set, no
         further unit is launched or pulled from ``feed`` -- queued and
@@ -228,6 +252,13 @@ class SupervisedPool:
                         else:
                             queue.extend(_Task(uid, payload)
                                          for uid, payload in batch)
+                            if feed_priority is not None and batch \
+                                    and len(queue) > 1:
+                                queue = collections.deque(sorted(
+                                    queue,
+                                    key=lambda t:
+                                    feed_priority(t.id, t.payload),
+                                ))
                 if not (queue or waiting or in_flight):
                     if exhausted:
                         break
@@ -349,10 +380,7 @@ class SupervisedPool:
         delay = self.backoff_base_s * (2 ** (attempts - 1))
         if self.seed is None:
             return delay
-        draw = zlib.crc32(
-            "{}:{}:{}".format(self.seed, unit_id, attempts).encode("utf-8")
-        ) / float(0xFFFFFFFF)
-        return delay * (1.0 + draw)
+        return delay * seeded_jitter(self.seed, unit_id, attempts)
 
     def _spawn(self):
         return concurrent.futures.ProcessPoolExecutor(

@@ -239,9 +239,13 @@ class CampaignRunner:
     def __init__(self, journal_path, directory=None, jobs=1,
                  watchdog_s=DEFAULT_WATCHDOG_S, deadline_s=None,
                  max_retries=DEFAULT_MAX_RETRIES, store_path=None,
-                 trace_path=None, seed=0, event_sink=None):
+                 trace_path=None, seed=0, event_sink=None,
+                 prune_age_s=3600.0, prune_keep=4):
         self.journal = CampaignJournal(journal_path)
         self.directory = directory
+        #: debris-rotation policy for start-time pruning
+        self.prune_age_s = prune_age_s
+        self.prune_keep = prune_keep
         #: optional live observer: called as ``event_sink(kind, fields)``
         #: for every unit transition (the serve layer streams these to
         #: clients); a broken sink never breaks the campaign
@@ -286,6 +290,7 @@ class CampaignRunner:
             self.journal.path.parent,
             patterns=(self.journal.path.stem + "*.tmp",
                       self.journal.path.stem + ".beats-*"),
+            max_age_s=self.prune_age_s, keep=self.prune_keep,
         )
         records = self.journal.open()
         try:

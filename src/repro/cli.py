@@ -551,11 +551,13 @@ def cmd_serve(args):
 
     from repro.errors import ServeError
     from repro.serve import (
+        FairShareScheduler,
         QuotaLedger,
         ServeBackend,
         ServeServer,
         load_tenant_quotas,
     )
+    from repro.serve import scheduler as _scheduler
 
     if args.socket is None and args.port is None:
         raise ServeError("serve needs --socket PATH or --port N")
@@ -574,6 +576,11 @@ def cmd_serve(args):
         args.state, shards=args.shards, jobs=args.jobs,
         watchdog_s=args.watchdog, max_retries=args.max_retries,
         seed=args.seed,
+        scheduler=FairShareScheduler(
+            mode=_scheduler.FIFO if args.fifo else _scheduler.FAIR,
+            quantum=args.quantum, aging_s=args.aging,
+        ),
+        prune_age_s=args.prune_age, prune_keep=args.prune_keep,
     )
     obs = None
     if args.trace:
@@ -633,12 +640,13 @@ def cmd_submit(args):
                 " ".join("{}={}".format(k, v) for k, v in fields.items()),
             ))
 
-    with ServeClient(_serve_address(args),
-                     timeout_s=args.timeout).connect(args.tenant) as client:
+    with ServeClient(_serve_address(args), timeout_s=args.timeout,
+                     retries=args.retries,
+                     seed=args.seed or 0).connect(args.tenant) as client:
         reply = client.submit(
             args.id, scenario=scenario, plan=plan,
-            deadline_s=args.deadline, on_event=on_event,
-            wait=not args.no_wait,
+            deadline_s=args.deadline, priority=args.priority,
+            on_event=on_event, wait=not args.no_wait,
         )
     if args.json:
         print(json.dumps(reply, sort_keys=True))
@@ -679,6 +687,81 @@ def cmd_drain(args):
                      timeout_s=args.timeout).connect() as client:
         reply = client.drain(wait=not args.no_wait)
     print("server {}".format(reply.get("type")))
+    return 0
+
+
+def cmd_serve_status(args):
+    """Deep introspection of a running server: scheduler + overload."""
+    from repro.serve import ServeClient
+
+    with ServeClient(_serve_address(args),
+                     timeout_s=args.timeout).connect() as client:
+        reply = client.status()
+    if args.json:
+        print(json.dumps(reply, sort_keys=True))
+        return 0
+    overload = reply.get("overload") or {}
+    print("state      : {} (for {:.1f}s, {} transitions, "
+          "{} sheds)".format(
+              overload.get("state", "?"), overload.get("since_s", 0.0),
+              overload.get("transitions", 0), overload.get("sheds", 0)))
+    for name, mark in sorted((overload.get("watermarks") or {}).items()):
+        print("watermark  : {} value={value} degraded_at="
+              "{degraded_at} shedding_at={shedding_at} "
+              "({direction})".format(name, **mark))
+    queue = reply.get("queue") or {}
+    print("queue      : {} admitted / {} max, {} on executor "
+          "({} in flight)".format(
+              queue.get("units_admitted"), queue.get("max"),
+              queue.get("executor"), queue.get("inflight")))
+    sched = reply.get("scheduler") or {}
+    print("scheduler  : mode={} depth={} aged_dispatches={} "
+          "oldest_wait={:.2f}s".format(
+              sched.get("mode"), sched.get("depth"),
+              sched.get("aged_dispatches"),
+              sched.get("oldest_wait_s") or 0.0))
+    for name, info in sorted((sched.get("tenants") or {}).items()):
+        print("tenant     : {} weight={} queued={} dispatched={} "
+              "p50={:.1f}ms p99={:.1f}ms".format(
+                  name, info.get("weight"), info.get("queued"),
+                  info.get("dispatched"), info.get("p50_wait_ms", 0.0),
+                  info.get("p99_wait_ms", 0.0)))
+    if reply.get("draining"):
+        print("draining   : yes")
+    return 0
+
+
+def cmd_soak(args):
+    """Run the sustained-load soak harness against a scratch server."""
+    import tempfile
+
+    from repro.ioutil import write_json_atomic
+    from repro.serve.soak import SoakError, run_soak
+
+    root = args.dir or tempfile.mkdtemp(prefix="repro-soak-")
+    try:
+        report = run_soak(
+            root, duration_s=args.duration, shards=args.shards,
+            jobs=args.jobs, seed=args.seed, plan_units=args.plan_units,
+            campaign_units=args.units, spin=args.spin,
+            fault_profile=args.fault_profile,
+            fairness_ratio_max=args.fairness_ratio,
+            trickle_p99_ms=args.trickle_p99_ms,
+        )
+    except SoakError as error:
+        print("SOAK FAILED: {}".format(error))
+        if error.report and args.out:
+            write_json_atomic(args.out, error.report)
+            print("partial report written to {}".format(args.out))
+        return 1
+    if args.out:
+        write_json_atomic(args.out, report)
+        print("report written to {}".format(args.out))
+    fairness = report.get("fairness") or {}
+    print("soak OK: fairness ratio {} (bound {}), determinism {}".format(
+        fairness.get("ratio"), fairness.get("bound"),
+        "ok" if (report.get("determinism") or {}).get("equal")
+        else "FAILED"))
     return 0
 
 
@@ -941,8 +1024,39 @@ def build_parser():
                         "--state)")
     p.add_argument("--ready-file", default=None, metavar="PATH",
                    help="touch PATH when ready, remove it when draining")
+    p.add_argument("--fifo", action="store_true",
+                   help="disable fair-share scheduling (global FIFO; "
+                        "the control arm for fairness benchmarks)")
+    p.add_argument("--quantum", type=float, default=4.0,
+                   help="fair-share deficit quantum: unit-cost credit "
+                        "per tenant per rotation, scaled by weight")
+    p.add_argument("--aging", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="starvation bound: a unit queued this long "
+                        "dispatches out of turn")
+    p.add_argument("--prune-age", type=float, default=3600.0,
+                   metavar="SECONDS",
+                   help="housekeeping: crash debris older than this "
+                        "is rotated out of the state directory")
+    p.add_argument("--prune-keep", type=int, default=4,
+                   help="housekeeping: most-recent debris files "
+                        "spared per pattern")
     _add_trace(p)
     p.set_defaults(func=cmd_serve)
+
+    sverbs = p.add_subparsers(dest="serve_verb", required=False,
+                              metavar="{status}")
+    sv = sverbs.add_parser(
+        "status",
+        help="deep introspection of a running server: scheduler "
+             "fairness evidence, overload watermarks, breakers")
+    sv.add_argument("--socket", default=None, metavar="PATH")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=None)
+    sv.add_argument("--timeout", type=float, default=30.0)
+    sv.add_argument("--json", action="store_true",
+                    help="print the raw status document as one JSON line")
+    sv.set_defaults(func=cmd_serve_status)
 
     p = subparsers.add_parser(
         "submit", help="submit work to a running serve instance")
@@ -971,6 +1085,16 @@ def build_parser():
                    metavar="SECONDS",
                    help="per-request time budget (late results degrade, "
                         "queued-past-deadline units skip)")
+    p.add_argument("--priority", type=int, default=None,
+                   help="admission priority in [-10, 10] (default 1); "
+                        "a degraded server sheds work below priority 1 "
+                        "first, and higher priorities launch first "
+                        "within a feed batch")
+    p.add_argument("--retries", type=int, default=3,
+                   help="how many breaker/shed refusals to wait out "
+                        "(honoring the server's retry_after_s hint) "
+                        "before surfacing the rejection; 0 surfaces "
+                        "immediately")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="client-side socket timeout")
     p.add_argument("--no-wait", action="store_true",
@@ -990,6 +1114,38 @@ def build_parser():
                    help="return on the drain acknowledgement instead of "
                         "waiting for the drain to finish")
     p.set_defaults(func=cmd_drain)
+
+    p = subparsers.add_parser(
+        "soak",
+        help="sustained-load soak: multi-tenant floods, client churn, "
+             "a mid-soak SIGTERM drain, fairness / determinism / "
+             "zero-orphan assertions")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="scratch directory (default: a tempdir)")
+    p.add_argument("--duration", type=float, default=24.0,
+                   help="total load-window seconds across both phases")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=9)
+    p.add_argument("--plan-units", type=int, default=48,
+                   help="units in the drain/resume determinism plan")
+    p.add_argument("--units", type=int, default=2000,
+                   help="sharded-campaign scale smoke size (0 skips; "
+                        "the full soak uses 100000)")
+    p.add_argument("--spin", type=int, default=2000,
+                   help="noop unit cost knob")
+    p.add_argument("--fault-profile", default="default",
+                   help="fault profile injected into the soak's "
+                        "second plan")
+    p.add_argument("--fairness-ratio", type=float, default=3.0,
+                   help="bound on weight-normalized flood throughput "
+                        "max/min")
+    p.add_argument("--trickle-p99-ms", type=float, default=5000.0,
+                   help="bound on the trickle tenant's p99 scheduler "
+                        "wait")
+    p.add_argument("--out", default=None, metavar="REPORT.JSON",
+                   help="write the full report here (atomic)")
+    p.set_defaults(func=cmd_soak)
 
     p = subparsers.add_parser(
         "trace", help="inspect repro-trace/v1 JSONL traces")

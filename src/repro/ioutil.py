@@ -87,7 +87,8 @@ def write_json_atomic(path, obj, indent=2, sort_keys=True, faults=None):
     return write_atomic(path, text, faults=faults)
 
 
-def prune_stale_artifacts(directory, patterns, max_age_s=3600.0, keep=4):
+def prune_stale_artifacts(directory, patterns, max_age_s=3600.0, keep=4,
+                          exclude=None):
     """Rotate crash debris out of a long-lived working directory.
 
     Repeated crash-resume cycles (and SIGKILLed service hosts) leave
@@ -100,11 +101,19 @@ def prune_stale_artifacts(directory, patterns, max_age_s=3600.0, keep=4):
     recent debris to look at.  Entries that are directories are
     removed recursively.  Failures are ignored (pruning is hygiene,
     never correctness); returns the list of removed paths.
+
+    ``exclude`` (optional) is a predicate over candidate paths;
+    matches it returns True for are never touched.  Long-lived hosts
+    that prune *while running* use it to protect artifacts that look
+    stale but belong to live work -- a plan whose journal has been
+    appending for hours still owns its tmp siblings and beat dirs.
     """
     directory = pathlib.Path(directory)
     entries = []
     for pattern in patterns:
         for path in directory.glob(pattern):
+            if exclude is not None and exclude(path):
+                continue
             try:
                 entries.append((path.stat().st_mtime, str(path), path))
             except OSError:

@@ -42,6 +42,14 @@ REQUEST_WALL_MS_BUCKETS = (
     5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000,
 )
 
+#: bucket bounds (milliseconds, wall clock) for time a submission sat
+#: in the fair-share scheduler before the pool launched it; finer at
+#: the low end than request latency because sub-5ms queue waits are
+#: the healthy norm
+QUEUE_WAIT_WALL_MS_BUCKETS = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram: counts of observations per bound.

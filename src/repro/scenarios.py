@@ -208,6 +208,26 @@ def _run_kill_self(machine, params):
     return {"correct": True, "survived_retry": True}
 
 
+@_attack("noop")
+def _run_noop(machine, params):
+    """Infrastructure fixture: a deterministic microsecond-scale unit.
+
+    Exists so 100k-unit campaign smokes and sustained-load soaks can
+    exercise the fabric -- journals, scheduling, admission, resume --
+    at real unit *counts* without paying a real attack's boot and
+    probe cost per unit.  ``spin`` rounds of integer mixing keep the
+    unit CPU-bound-but-tiny; the checksum is a pure function of
+    ``(machine seed, spin)`` so resumed and re-run stores stay
+    byte-identical.  Pair it with ``"machine": {"os": "none"}`` to
+    skip the machine boot as well.
+    """
+    spin = int(params.get("spin", 64))
+    acc = (machine.seed or 0) & 0xFFFFFFFF
+    for i in range(spin):
+        acc = (acc * 1103515245 + 12345 + i) & 0x7FFFFFFF
+    return {"correct": True, "checksum": acc}
+
+
 @_attack("fingerprint")
 def _run_fingerprint(machine, params):
     from repro.attacks.fingerprint import ApplicationFingerprinter
@@ -310,6 +330,24 @@ class ScenarioResult:
         )
 
 
+class _StubMachine:
+    """A bootless machine for infrastructure fixtures (``"os": "none"``).
+
+    Booting even the smallest Linux model costs tens of milliseconds;
+    a 100k-unit fabric smoke cannot afford that per unit.  The stub
+    carries exactly the attributes the scenario plumbing reads --
+    ``seed`` and ``chaos`` -- and nothing an actual attack could use,
+    so only infrastructure fixtures (``noop``, ``hang``,
+    ``kill-self``) run on it.
+    """
+
+    __slots__ = ("seed", "chaos")
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.chaos = None
+
+
 def _build_machine(spec):
     spec = dict(spec)
     os_family = spec.pop("os", "linux")
@@ -319,6 +357,8 @@ def _build_machine(spec):
         return Machine.windows(**spec)
     if os_family == "cloud":
         return Machine.cloud(spec.pop("provider"), **spec)
+    if os_family == "none":
+        return _StubMachine(seed=spec.pop("seed", 0))
     raise ConfigError("unknown machine os {!r}".format(os_family))
 
 

@@ -7,7 +7,11 @@ offline runs):
 
 * **inline scenarios** run on one persistent
   :class:`~repro.campaign.pool.SupervisedPool` fed incrementally from
-  the admission queue.  The worker function is the campaign runner's
+  the per-tenant :class:`~repro.serve.scheduler.FairShareScheduler`
+  (weighted fair share across tenants, earliest-deadline-first within
+  one, aging against starvation -- admission decides *whether* work
+  enters, the scheduler decides *whose* work runs next).  The worker
+  function is the campaign runner's
   own :func:`~repro.campaign.runner._run_unit`, the deadline
   degradation goes through the same
   :func:`~repro.campaign.runner.outcome_result` mapping, and every
@@ -29,7 +33,6 @@ joins the executor thread.  Everything the backend learns about
 failures feeds the :class:`~repro.serve.breaker.BreakerBoard`.
 """
 
-import collections
 import pathlib
 import threading
 import time
@@ -45,6 +48,7 @@ from repro.campaign.runner import (
 from repro.errors import ProtocolError, ReproError
 from repro.ioutil import prune_stale_artifacts, write_json_atomic
 from repro.serve.breaker import BreakerBoard
+from repro.serve.scheduler import FairShareScheduler
 
 #: terminal verdict statuses
 DONE = "done"
@@ -65,11 +69,12 @@ class Submission:
     """
 
     __slots__ = ("rid", "tenant", "request_id", "kind", "units",
-                 "deadline_s", "deadline", "on_event", "on_done",
-                 "done", "verdict", "_lock")
+                 "deadline_s", "deadline", "priority", "degrade_marks",
+                 "on_event", "on_done", "done", "verdict", "_lock")
 
     def __init__(self, rid, tenant, request_id, kind, units,
-                 deadline_s=None, on_event=None, on_done=None):
+                 deadline_s=None, priority=1, on_event=None,
+                 on_done=None):
         self.rid = rid
         self.tenant = tenant
         self.request_id = request_id
@@ -78,6 +83,12 @@ class Submission:
         self.deadline_s = deadline_s
         self.deadline = None if deadline_s is None \
             else time.monotonic() + deadline_s
+        #: admission priority: higher launches first within a feed
+        #: batch; below the degraded floor it is shed under overload
+        self.priority = priority
+        #: degrade flags the server stamped at admission ("overload");
+        #: they ride the verdict *message*, never the persisted result
+        self.degrade_marks = []
         self.on_event = on_event
         self.on_done = on_done
         self.done = threading.Event()
@@ -125,7 +136,8 @@ class ServeBackend:
 
     def __init__(self, state_dir, shards=2, jobs=None,
                  watchdog_s=DEFAULT_WATCHDOG_S,
-                 max_retries=DEFAULT_MAX_RETRIES, seed=0, breakers=None):
+                 max_retries=DEFAULT_MAX_RETRIES, seed=0, breakers=None,
+                 scheduler=None, prune_age_s=3600.0, prune_keep=4):
         self.state_dir = pathlib.Path(state_dir)
         self.scenario_dir = self.state_dir / "scenarios"
         self.result_dir = self.state_dir / "results"
@@ -137,8 +149,14 @@ class ServeBackend:
         self.seed = seed
         self.breakers = breakers if breakers is not None \
             else BreakerBoard(self.shards)
+        #: the fair-share scheduler between admission and the pool; the
+        #: server wires its weight_of to the tenant quota config
+        self.scheduler = scheduler if scheduler is not None \
+            else FairShareScheduler()
+        #: debris-rotation policy (service deployments tune these)
+        self.prune_age_s = prune_age_s
+        self.prune_keep = prune_keep
         self._lock = threading.Lock()
-        self._queue = collections.deque()
         self._active = {}
         self._plan_runners = {}
         self._plan_threads = []
@@ -152,11 +170,7 @@ class ServeBackend:
         for directory in (self.state_dir, self.scenario_dir,
                           self.result_dir, self.plan_dir):
             directory.mkdir(parents=True, exist_ok=True)
-        # rotate debris earlier service incarnations (or their SIGKILLed
-        # plan runs) left behind; plan journals themselves are precious
-        # -- only tmp files and beat directories are fair game
-        for directory in (self.result_dir, self.plan_dir):
-            prune_stale_artifacts(directory, patterns=("*.tmp", "*.beats-*"))
+        self.housekeep()
         self._pool_thread = threading.Thread(
             target=self._pool_loop, name="repro-serve-pool", daemon=True,
         )
@@ -189,24 +203,60 @@ class ServeBackend:
     def draining(self):
         return self._drain.is_set()
 
+    def housekeep(self):
+        """Rotate crash debris out of the state directory.
+
+        Runs at start *and* periodically during long service runs --
+        which is why live plans are excluded: a plan that has been
+        appending its journal for hours still owns every artifact
+        named after its rid (journal tmp siblings, shard journals,
+        beat directories), however stale their mtimes look.  Returns
+        the removed paths.
+        """
+        with self._lock:
+            live = set(self._plan_runners)
+
+        def is_live(path):
+            name = path.name
+            return any(name.startswith(rid + ".") for rid in live)
+
+        removed = []
+        # plan journals themselves are precious -- only tmp files and
+        # beat directories are fair game
+        for directory in (self.result_dir, self.plan_dir):
+            removed.extend(prune_stale_artifacts(
+                directory, patterns=("*.tmp", "*.beats-*"),
+                max_age_s=self.prune_age_s, keep=self.prune_keep,
+                exclude=is_live,
+            ))
+        return removed
+
     def queue_depth(self):
         """Scenario units queued or running (health / accepted replies)."""
         with self._lock:
-            return len(self._queue) + len(self._active)
+            active = len(self._active)
+        return self.scheduler.depth() + active
+
+    def inflight(self):
+        """Scenario units actually launched on the pool (overload signal)."""
+        with self._lock:
+            return len(self._active)
 
     # -- intake ----------------------------------------------------------------
 
     def submit_scenario(self, sub, spec):
-        """Persist ``spec`` and queue it for the executor pool."""
+        """Persist ``spec`` and hand it to the fair-share scheduler."""
         path = self.scenario_dir / (sub.rid + ".json")
         write_json_atomic(path, spec)
         with self._lock:
-            if sub.rid in self._active \
-                    or any(s.rid == sub.rid for s, __ in self._queue):
+            if sub.rid in self._active or self.scheduler.queued(sub.rid):
                 raise ProtocolError(
                     "request {} is already in flight".format(sub.rid)
                 )
-            self._queue.append((sub, str(path)))
+            self.scheduler.push(
+                sub.tenant, sub.rid, (sub, str(path)),
+                deadline=sub.deadline,
+            )
 
     def submit_plan(self, sub, plan):
         """Launch (or resume) a sharded campaign for ``plan``."""
@@ -292,6 +342,7 @@ class ServeBackend:
                 pool.run(
                     [], _run_unit,
                     feed=self._feed,
+                    feed_priority=self._feed_rank,
                     on_retry=self._on_retry,
                     on_finish=self._on_finish,
                 )
@@ -305,24 +356,43 @@ class ServeBackend:
             return  # feed returned None: drained and empty
 
     def _feed(self, room):
-        """Hand the pool queued scenarios; expired ones skip right here."""
+        """Hand the pool scheduler-ordered scenarios; expired ones skip here.
+
+        The scheduler decides *which tenant's* unit dispatches next
+        (weighted fair share + aging); this feed only moves what it
+        releases onto the pool.
+        """
         batch = []
-        with self._lock:
-            while self._queue and len(batch) < room:
-                sub, path = self._queue.popleft()
-                if sub.expired():
-                    sub.emit_event("unit-skip",
-                                   {"unit": sub.rid, "reason": "deadline"})
-                    sub.complete(SKIPPED, reason="deadline")
-                    continue
-                self._active[sub.rid] = sub
-                batch.append((sub.rid, path))
-            if not batch and not self._queue and self._drain.is_set():
-                return None
+        expired = []
+        for __, rid, (sub, path) in self.scheduler.take(room):
+            if sub.expired():
+                expired.append(sub)
+                continue
+            with self._lock:
+                self._active[rid] = sub
+            batch.append((rid, path))
+        for sub in expired:
+            sub.emit_event("unit-skip",
+                           {"unit": sub.rid, "reason": "deadline"})
+            sub.complete(SKIPPED, reason="deadline")
+        if not batch and self.scheduler.depth() == 0 \
+                and self._drain.is_set():
+            return None
         for rid, __ in batch:
-            sub = self._active[rid]
+            with self._lock:
+                sub = self._active[rid]
             sub.emit_event("unit-start", {"unit": rid, "attempt": 0})
         return batch
+
+    def _feed_rank(self, unit_id, _payload):
+        """Pool launch order within a feed batch: priority, then deadline."""
+        with self._lock:
+            sub = self._active.get(unit_id)
+        if sub is None:
+            return (0, float("inf"))
+        deadline = sub.deadline if sub.deadline is not None \
+            else float("inf")
+        return (-sub.priority, deadline)
 
     def _on_retry(self, unit_id, attempt, reason):
         with self._lock:

@@ -114,6 +114,10 @@ class BreakerBoard:
             index: CircuitBreaker(failure_threshold, cooldown_s, clock)
             for index in range(max(1, shards))
         }
+        #: the server attaches its OverloadGovernor here so one board
+        #: document carries every shed signal the service can emit --
+        #: breaker trips *and* watermark pressure
+        self.overload = None
 
     def record_report(self, report):
         """Fold one ShardedCampaignReport into the per-shard breakers."""
@@ -138,10 +142,13 @@ class BreakerBoard:
         )
 
     def as_dict(self):
-        return {
+        board = {
             "backend": self.backend.as_dict(),
             "shards": {
                 str(index): breaker.as_dict()
                 for index, breaker in sorted(self.shards.items())
             },
         }
+        if self.overload is not None:
+            board["overload"] = self.overload.snapshot()
+        return board

@@ -14,17 +14,42 @@ skipped, so a drain mid-stream never desynchronizes the client.
 
 import json
 import socket
+import time
 
+from repro.campaign.pool import seeded_jitter
 from repro.errors import ProtocolError, ServeError
 from repro.serve import protocol
 
+#: refusal reasons worth waiting out: breaker cooldowns and overload
+#: shedding are transient by design and carry a ``retry_after_s``
+#: hint.  ``queue-full``, ``draining`` and quota rejections are NOT
+#: here -- they reflect the caller's own standing (or the server's
+#: end of life) and must surface immediately.
+RETRYABLE_REASONS = ("circuit-open", "shedding", "degraded")
+
+#: default ceiling on one backoff sleep
+DEFAULT_MAX_BACKOFF_S = 30.0
+
 
 class ServeClient:
-    """One connection to a serve socket (Unix path or ``(host, port)``)."""
+    """One connection to a serve socket (Unix path or ``(host, port)``).
 
-    def __init__(self, address, timeout_s=60.0):
+    ``retries`` bounds how many breaker/shed refusals one
+    :meth:`submit` waits out before surfacing the rejection; each wait
+    honors the server's ``retry_after_s`` hint, stretched by the
+    campaign's seeded jitter (reproducible per ``(seed, request_id,
+    attempt)``, so a fleet of clients retrying the same cooldown does
+    not thunder back in lockstep) and capped at ``max_backoff_s``.
+    ``retries=0`` restores the surface-immediately behavior.
+    """
+
+    def __init__(self, address, timeout_s=60.0, retries=3,
+                 max_backoff_s=DEFAULT_MAX_BACKOFF_S, seed=0):
         self.address = address
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.max_backoff_s = max_backoff_s
+        self.seed = seed
         self.sock = None
         self._buffer = b""
         self.welcome = None
@@ -108,7 +133,7 @@ class ServeClient:
     # -- requests --------------------------------------------------------------
 
     def submit(self, request_id, scenario=None, plan=None, deadline_s=None,
-               on_event=None, wait=True):
+               priority=None, on_event=None, wait=True):
         """Submit one request; returns the terminal server message.
 
         The return value is the ``verdict`` for accepted requests, the
@@ -116,6 +141,11 @@ class ServeClient:
         the bare admission verdict -- ``accepted`` / ``rejected`` --
         without waiting for completion.  ``on_event`` sees every
         streamed ``event`` for this id.
+
+        Rejections whose ``reason`` is in :data:`RETRYABLE_REASONS`
+        (breaker cooldowns, overload shedding) are waited out and
+        resubmitted up to ``self.retries`` times before being
+        returned; every other rejection surfaces immediately.
         """
         message = {"type": "submit", "id": request_id}
         if scenario is not None:
@@ -124,6 +154,25 @@ class ServeClient:
             message["plan"] = plan
         if deadline_s is not None:
             message["deadline_s"] = deadline_s
+        if priority is not None:
+            message["priority"] = priority
+        attempt = 0
+        while True:
+            reply = self._submit_once(message, request_id, on_event, wait)
+            if reply.get("type") != "rejected" \
+                    or reply.get("reason") not in RETRYABLE_REASONS \
+                    or attempt >= self.retries:
+                return reply
+            attempt += 1
+            hint = reply.get("retry_after_s")
+            if not isinstance(hint, (int, float)) or hint <= 0:
+                hint = 1.0
+            time.sleep(min(
+                self.max_backoff_s,
+                hint * seeded_jitter(self.seed, request_id, attempt),
+            ))
+
+    def _submit_once(self, message, request_id, on_event, wait):
         self.send(message)
         accepted = None
         while True:
@@ -155,6 +204,14 @@ class ServeClient:
         while True:
             reply = self.recv()
             if reply.get("type") == "health":
+                return reply
+
+    def status(self):
+        """Deep introspection document (allowed before hello)."""
+        self.send({"type": "status"})
+        while True:
+            reply = self.recv()
+            if reply.get("type") == "status":
                 return reply
 
     def drain(self, wait=True):

@@ -12,15 +12,20 @@ Client -> server message types:
 * ``hello``   -- open a session: ``{"type": "hello", "tenant": "a"}``;
 * ``submit``  -- request work: an inline ``scenario`` spec *or* a
   ``plan`` block naming a scenario directory to run as a sharded
-  campaign, plus an optional ``deadline_s`` time budget;
+  campaign, plus an optional ``deadline_s`` time budget and an
+  optional integer ``priority`` (default 1; under a *degraded*
+  server, work below the priority floor is shed first, and within
+  one feed batch higher priorities launch first);
 * ``health``  -- liveness/readiness probe (allowed before ``hello``);
+* ``status``  -- deep introspection: scheduler fairness evidence,
+  overload watermark readings, breakers (allowed before ``hello``);
 * ``drain``   -- ask the server to drain gracefully (supervision);
 * ``bye``     -- close the session.
 
 Server -> client: ``welcome``, ``accepted`` / ``rejected`` (typed,
 with the admission verdict), ``event`` (unit progress), ``verdict``
-(terminal, one per accepted submit), ``health``, ``draining`` /
-``drained``, and ``error`` for protocol misuse.
+(terminal, one per accepted submit), ``health``, ``status``,
+``draining`` / ``drained``, and ``error`` for protocol misuse.
 
 :func:`parse_line` and :func:`validate_client` raise
 :class:`~repro.errors.ProtocolError` -- the server maps that onto an
@@ -46,7 +51,12 @@ _REQUEST_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _TENANT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,31}$")
 
 #: message types a client may send
-CLIENT_TYPES = ("hello", "submit", "health", "drain", "bye")
+CLIENT_TYPES = ("hello", "submit", "health", "status", "drain", "bye")
+
+#: accepted submit priority range (small on purpose: priority is a
+#: shedding class, not a fine-grained ranking)
+PRIORITY_MIN = -10
+PRIORITY_MAX = 10
 
 
 def encode(message):
@@ -130,6 +140,15 @@ def validate_client(message):
             if not isinstance(deadline_s, (int, float)) \
                     or isinstance(deadline_s, bool) or deadline_s <= 0:
                 raise ProtocolError("'deadline_s' must be a positive number")
+        priority = message.get("priority")
+        if priority is not None:
+            if not isinstance(priority, int) or isinstance(priority, bool) \
+                    or not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+                raise ProtocolError(
+                    "'priority' must be an integer in [{}, {}]".format(
+                        PRIORITY_MIN, PRIORITY_MAX
+                    )
+                )
     return message
 
 

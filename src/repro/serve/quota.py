@@ -27,22 +27,29 @@ class TenantQuota:
     requests and in-flight scenario units; ``max_deadline_s`` caps the
     per-request time budget a tenant may ask for (None = no cap) and
     doubles as the default deadline for requests that name none.
+    ``weight`` is the tenant's fair-share scheduling weight -- under
+    contention, tenants receive executor service proportional to their
+    weights (see :mod:`repro.serve.scheduler`); it never affects
+    *admission*, only dispatch order.
     """
 
-    __slots__ = ("name", "max_requests", "max_units", "max_deadline_s")
+    __slots__ = ("name", "max_requests", "max_units", "max_deadline_s",
+                 "weight")
 
     def __init__(self, name="default", max_requests=4, max_units=64,
-                 max_deadline_s=None):
+                 max_deadline_s=None, weight=1.0):
         self.name = name
         self.max_requests = max(1, int(max_requests))
         self.max_units = max(1, int(max_units))
         self.max_deadline_s = max_deadline_s
+        self.weight = max(0.0, float(weight))
 
     def as_dict(self):
         return {
             "max_requests": self.max_requests,
             "max_units": self.max_units,
             "max_deadline_s": self.max_deadline_s,
+            "weight": self.weight,
         }
 
     @classmethod
@@ -52,6 +59,7 @@ class TenantQuota:
             max_requests=data.get("max_requests", 4),
             max_units=data.get("max_units", 64),
             max_deadline_s=data.get("max_deadline_s"),
+            weight=data.get("weight", 1.0),
         )
 
 

@@ -14,10 +14,21 @@ order:
    cooldown); per-shard breakers never shed -- they mark the admission
    *degraded*, because the fabric's survivors still absorb a
    quarantined shard's units;
-3. the **global queue bound** rejects what would overcommit the
+3. the **overload governor** (:mod:`repro.serve.overload`) reads its
+   watermarks: ``shedding`` refuses everything
+   (``reason="shedding"``), ``degraded`` refuses sub-floor-priority
+   work (``reason="degraded"``) and stamps what it still admits with
+   an ``overload`` degrade mark, carried on the accepted/verdict
+   messages (never into the persisted result store);
+4. the **global queue bound** rejects what would overcommit the
    service (``reason="queue-full"``);
-4. the **tenant quota** rejects what would overcommit the tenant
+5. the **tenant quota** rejects what would overcommit the tenant
    (typed ``QuotaExceeded`` with the exhausted dimension).
+
+Admitted work is ordered by the backend's per-tenant fair-share
+scheduler, whose weights come from the tenant quota config; the
+``status`` verb exposes the scheduler's fairness evidence and the
+governor's watermark readings.
 
 Every admitted request is released exactly once -- verdict sent,
 stream dead, or drain -- so quotas cannot leak.  Slow clients hit the
@@ -38,9 +49,13 @@ import threading
 import time
 
 from repro.errors import Overloaded, ProtocolError, ReproError, ServeError
-from repro.obs.metrics import QUEUE_DEPTH_BUCKETS, REQUEST_WALL_MS_BUCKETS
+from repro.obs.metrics import (
+    QUEUE_DEPTH_BUCKETS,
+    QUEUE_WAIT_WALL_MS_BUCKETS,
+    REQUEST_WALL_MS_BUCKETS,
+)
 from repro.obs.trace import NULL_TRACER
-from repro.serve import protocol
+from repro.serve import overload, protocol
 from repro.serve.backend import ServeBackend, Submission
 from repro.serve.quota import QuotaLedger
 
@@ -144,6 +159,9 @@ class _Connection:
         if kind == "health":
             self.send(self.server.health())
             return True
+        if kind == "status":
+            self.send(self.server.status())
+            return True
         if kind == "drain":
             self.send({"type": "draining"})
             self.server.drain_async()
@@ -174,7 +192,7 @@ class ServeServer:
     def __init__(self, backend=None, ledger=None, socket_path=None,
                  host="127.0.0.1", port=0, max_queue=256,
                  write_timeout_s=5.0, ready_file=None, obs=None,
-                 state_dir=None):
+                 state_dir=None, governor=None, housekeep_s=60.0):
         if backend is None:
             if state_dir is None:
                 raise ServeError("a server needs a backend or a state_dir")
@@ -202,6 +220,20 @@ class ServeServer:
         self._draining = threading.Event()
         self._drained = threading.Event()
         self._stop = threading.Event()
+        #: how often serve_forever re-evaluates watermarks and prunes
+        self.housekeep_s = housekeep_s
+        self.governor = governor if governor is not None \
+            else overload.default_governor(self)
+        # surface overload state through the breaker board (health,
+        # forensics and the smoke harnesses all read breakers.as_dict)
+        self.breakers.overload = self.governor
+        # the scheduler's fairness knobs come from the quota config:
+        # a tenant's weight rides its TenantQuota
+        if self.backend.scheduler.weight_of is None:
+            self.backend.scheduler.weight_of = \
+                lambda tenant: self.ledger.quota_for(tenant).weight
+        if self.backend.scheduler.on_wait is None:
+            self.backend.scheduler.on_wait = self._note_queue_wait
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -261,9 +293,16 @@ class ServeServer:
                     signal.signal(signum, _on_signal)
                 except ValueError:
                     pass  # not the main thread; supervisor calls drain()
+        last_housekeep = time.monotonic()
         while not self._stop.wait(0.2):
             if self._drained.is_set():
                 return 0
+            # tick the watermarks even without traffic, so hysteresis
+            # relaxes an idle-but-degraded server back to healthy
+            self.governor.evaluate()
+            if time.monotonic() - last_housekeep >= self.housekeep_s:
+                self.backend.housekeep()
+                last_housekeep = time.monotonic()
         self.drain()
         return 0
 
@@ -349,12 +388,16 @@ class ServeServer:
 
     # -- admission -------------------------------------------------------------
 
-    def admit(self, tenant, units, deadline_s=None):
+    def admit(self, tenant, units, deadline_s=None, priority=1):
         """Run the full admission ladder; returns the effective deadline.
 
-        Raises :class:`Overloaded` (draining / circuit-open /
-        queue-full) or :class:`QuotaExceeded` -- always typed, always
-        before any state changes the caller would have to undo.
+        Raises :class:`Overloaded` (draining / circuit-open / shedding
+        / degraded / queue-full) or :class:`QuotaExceeded` -- always
+        typed, always before any state changes the caller would have
+        to undo.  The overload governor sits between the breaker and
+        the queue bound: **shedding** refuses everything, **degraded**
+        refuses only work whose ``priority`` is below the floor
+        (:data:`repro.serve.overload.DEGRADED_PRIORITY_FLOOR`).
         """
         if self._draining.is_set():
             raise Overloaded("server is draining", reason="draining")
@@ -363,6 +406,25 @@ class ServeServer:
                 "backend circuit breaker is open",
                 reason="circuit-open",
                 retry_after_s=round(self.breakers.backend.retry_after_s(), 3),
+            )
+        state = self.governor.evaluate()
+        if state == overload.SHEDDING:
+            self.governor.note_shed(state)
+            self.count("serve.shed")
+            raise Overloaded(
+                "service is shedding load (overload watermark crossed)",
+                reason="shedding",
+                retry_after_s=self.governor.retry_after_s(state),
+            )
+        if state == overload.DEGRADED \
+                and priority < overload.DEGRADED_PRIORITY_FLOOR:
+            self.governor.note_shed(state)
+            self.count("serve.shed")
+            raise Overloaded(
+                "service is degraded; priority {} work is shed until "
+                "pressure recedes".format(priority),
+                reason="degraded",
+                retry_after_s=self.governor.retry_after_s(state),
             )
         with self._admit_lock:
             if self._units_admitted + units > self.max_queue:
@@ -386,10 +448,24 @@ class ServeServer:
             self._units_admitted = max(0, self._units_admitted - units)
         self.ledger.release(tenant, units)
 
+    def units_admitted(self):
+        """Currently admitted units (the queue watermark's probe)."""
+        with self._admit_lock:
+            return self._units_admitted
+
     def count(self, name, amount=1):
         if self.obs.enabled:
             with self._obs_lock:
                 self.obs.metrics.inc(name, amount)
+
+    def _note_queue_wait(self, tenant, wait_s):
+        """Scheduler dispatch hook: record per-dispatch queue wait."""
+        if self.obs.enabled:
+            with self._obs_lock:
+                self.obs.metrics.observe(
+                    "serve.queue_wait_wall_ms", wait_s * 1000.0,
+                    buckets=QUEUE_WAIT_WALL_MS_BUCKETS,
+                )
 
     # -- request handling ------------------------------------------------------
 
@@ -398,10 +474,12 @@ class ServeServer:
         request_id = message["id"]
         scenario = message.get("scenario")
         plan = message.get("plan")
+        priority = message.get("priority", 1)
         try:
             units = 1 if scenario is not None else self._plan_units(plan)
             deadline_s = self.admit(tenant, units,
-                                    message.get("deadline_s"))
+                                    message.get("deadline_s"),
+                                    priority=priority)
         except ReproError as error:
             self.count("serve.rejected")
             connection.send(protocol.rejected(request_id, error))
@@ -410,12 +488,18 @@ class ServeServer:
         sub = Submission(
             "{}.{}".format(tenant, request_id), tenant, request_id,
             "scenario" if scenario is not None else "plan", units,
-            deadline_s=deadline_s,
+            deadline_s=deadline_s, priority=priority,
             on_event=lambda kind, fields, c=connection, r=request_id:
                 c.send(protocol.event(r, kind, **fields)),
             on_done=lambda s, c=connection, t0=admitted_at:
                 self._finish_submission(c, s, t0),
         )
+        # work admitted while the governor is degraded carries an
+        # "overload" degrade mark from admission to verdict -- on the
+        # wire only, never in the persisted result store (serve and
+        # offline stores must stay byte-comparable)
+        if self.governor.state != overload.HEALTHY:
+            sub.degrade_marks.append("overload")
         try:
             if scenario is not None:
                 self.backend.submit_scenario(sub, scenario)
@@ -427,10 +511,12 @@ class ServeServer:
             connection.send(protocol.rejected(request_id, error))
             return
         self.count("serve.admitted")
-        degrade = self.breakers.degraded_shards()
+        degrade = ["shard-{}".format(i)
+                   for i in self.breakers.degraded_shards()]
+        degrade.extend(sub.degrade_marks)
         connection.send(protocol.accepted(
             request_id, self.backend.queue_depth(),
-            degrade=["shard-{}".format(i) for i in degrade] or None,
+            degrade=degrade or None,
         ))
 
     def _plan_units(self, plan):
@@ -453,7 +539,11 @@ class ServeServer:
                     (time.monotonic() - admitted_at) * 1000.0,
                     buckets=REQUEST_WALL_MS_BUCKETS,
                 )
-        connection.send(protocol.verdict(sub.request_id, **sub.verdict))
+        fields = dict(sub.verdict)
+        if sub.degrade_marks:
+            marks = list(fields.get("degrade") or [])
+            fields["degrade"] = sorted(set(marks + sub.degrade_marks))
+        connection.send(protocol.verdict(sub.request_id, **fields))
 
     # -- introspection ---------------------------------------------------------
 
@@ -472,7 +562,9 @@ class ServeServer:
         return {
             "type": "health",
             "proto": protocol.PROTO,
-            "status": "draining" if self._draining.is_set() else "ok",
+            "status": "draining" if self._draining.is_set()
+            else ("ok" if self.governor.state == overload.HEALTHY
+                  else self.governor.state),
             "ready": self._started.is_set()
             and not self._draining.is_set(),
             "shards": self.backend.shards,
@@ -480,6 +572,32 @@ class ServeServer:
                 "units_admitted": admitted,
                 "max": self.max_queue,
                 "executor": self.backend.queue_depth(),
+            },
+            "breakers": self.breakers.as_dict(),
+            "tenants": self.ledger.snapshot(),
+        }
+
+    def status(self):
+        """The deep introspection document (the ``status`` reply).
+
+        Everything an operator needs to answer "who is the service
+        actually serving, and under what pressure": the scheduler's
+        per-tenant fairness evidence, the overload governor's
+        watermark readings, and the breaker board.
+        """
+        with self._admit_lock:
+            admitted = self._units_admitted
+        return {
+            "type": "status",
+            "proto": protocol.PROTO,
+            "draining": self._draining.is_set(),
+            "overload": self.governor.snapshot(),
+            "scheduler": self.backend.scheduler.snapshot(),
+            "queue": {
+                "units_admitted": admitted,
+                "max": self.max_queue,
+                "executor": self.backend.queue_depth(),
+                "inflight": self.backend.inflight(),
             },
             "breakers": self.breakers.as_dict(),
             "tenants": self.ledger.snapshot(),

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Sustained-load soak for `repro serve` (CI's soak-smoke job).
+
+A thin wrapper over :mod:`repro.serve.soak` -- see that module for the
+full design.  In one line: two load phases (multi-tenant floods at
+unequal weights, a trickle tenant, a slow reader, client churn
+throughout) around a mid-soak SIGTERM drain, with a plan resuming
+across the restart and a fault profile riding a second plan; then the
+fairness, typed-refusal, zero-orphan, slow-reader and determinism
+assertions, plus a sharded-campaign scale smoke at noop unit cost.
+
+Run locally:
+
+    python tools/soak.py                       # ~60s CI shape
+    python tools/soak.py --duration 120 --units 100000   # the full soak
+
+Exit 0 on success; on failure, exit 1 with the partial report on
+stdout so CI logs show which assertion broke and the numbers it broke
+on.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve.soak import SoakError, run_soak  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="sustained-load soak harness for repro serve")
+    parser.add_argument("--dir", default=None, metavar="DIR",
+                        help="scratch directory (default: a tempdir)")
+    parser.add_argument("--duration", type=float, default=24.0,
+                        help="total load-window seconds across both "
+                             "phases (default 24)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--plan-units", type=int, default=48,
+                        help="units in the drain/resume determinism plan")
+    parser.add_argument("--units", type=int, default=2000,
+                        help="sharded-campaign scale smoke size "
+                             "(0 skips it; the full soak uses 100000)")
+    parser.add_argument("--spin", type=int, default=2000,
+                        help="noop unit cost knob")
+    parser.add_argument("--fault-profile", default="default")
+    parser.add_argument("--fairness-ratio", type=float, default=3.0,
+                        help="bound on weight-normalized flood "
+                             "throughput max/min")
+    parser.add_argument("--trickle-p99-ms", type=float, default=5000.0,
+                        help="bound on the trickle tenant's p99 "
+                             "scheduler wait")
+    parser.add_argument("--out", default=None, metavar="REPORT.JSON",
+                        help="write the full report here")
+    args = parser.parse_args(argv)
+
+    root = args.dir or tempfile.mkdtemp(prefix="repro-soak-")
+    try:
+        report = run_soak(
+            root, duration_s=args.duration, shards=args.shards,
+            jobs=args.jobs, seed=args.seed, plan_units=args.plan_units,
+            campaign_units=args.units, spin=args.spin,
+            fault_profile=args.fault_profile,
+            fairness_ratio_max=args.fairness_ratio,
+            trickle_p99_ms=args.trickle_p99_ms,
+        )
+    except SoakError as error:
+        print("SOAK FAILED: {}".format(error))
+        if error.report:
+            print(json.dumps(error.report, indent=2, sort_keys=True,
+                             default=str))
+        return 1
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True))
+        print("report written to {}".format(args.out))
+    print("SOAK PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
