@@ -56,6 +56,10 @@ FAIR_UNITS = 96
 FAIR_WINDOW = 12
 #: fair-share dispatch cost budget relative to FIFO on the same load
 FAIRSHARE_BUDGET_X = 1.10
+#: contention repetitions per arm; the cost ratio compares best-of-N
+#: walls (a single ~0.7s socket-bound run carries more OS-scheduling
+#: noise than the 10% budget it is asserted against)
+FAIR_REPS = 3
 
 
 def _write_plan(directory, count):
@@ -271,19 +275,35 @@ def _pipelined_contention(server):
     return wall_s, mid, server.backend.scheduler.snapshot()
 
 
+def _contention_arm(tmp, name, mode):
+    """Best-of-FAIR_REPS contention walls on one server.
+
+    Fairness evidence (the mid-drain dispatch ratio, the wait
+    percentiles) comes from the first repetition only: the scheduler's
+    dispatched counters are lifetime, so later repetitions -- which
+    each end with both pipelines fully drained -- would dilute the
+    mid-contention ratio toward flat.
+    """
+    server = _fair_server(tmp, name, mode)
+    walls = []
+    mid = final = None
+    try:
+        for __ in range(FAIR_REPS):
+            wall_s, rep_mid, rep_final = _pipelined_contention(server)
+            walls.append(wall_s)
+            if mid is None:
+                mid, final = rep_mid, rep_final
+    finally:
+        server.drain(timeout=300.0)
+    return min(walls), walls, mid, final
+
+
 def _bench_fairness(tmp):
     """Weighted contention under fair-share, then the FIFO control arm."""
-    fair = _fair_server(tmp, "fair", serve_scheduler.FAIR)
-    try:
-        fair_s, mid, final = _pipelined_contention(fair)
-    finally:
-        fair.drain(timeout=300.0)
-
-    fifo = _fair_server(tmp, "fifo", serve_scheduler.FIFO)
-    try:
-        fifo_s, _, _ = _pipelined_contention(fifo)
-    finally:
-        fifo.drain(timeout=300.0)
+    fair_s, fair_walls, mid, final = _contention_arm(
+        tmp, "fair", serve_scheduler.FAIR)
+    fifo_s, fifo_walls, _, _ = _contention_arm(
+        tmp, "fifo", serve_scheduler.FIFO)
 
     shares = {
         tenant: mid["tenants"].get(tenant, {}).get("dispatched", 0)
@@ -309,6 +329,8 @@ def _bench_fairness(tmp):
         "fairness_ratio": ratio,
         "fair_s": round(fair_s, 4),
         "fifo_s": round(fifo_s, 4),
+        "fair_walls_s": [round(w, 4) for w in fair_walls],
+        "fifo_walls_s": [round(w, 4) for w in fifo_walls],
         "fairshare_cost_x": round(fair_s / fifo_s, 3),
         "budget_x": FAIRSHARE_BUDGET_X,
     }

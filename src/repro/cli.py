@@ -701,10 +701,14 @@ def cmd_serve_status(args):
         print(json.dumps(reply, sort_keys=True))
         return 0
     overload = reply.get("overload") or {}
+    sheds = overload.get("sheds") or {}
     print("state      : {} (for {:.1f}s, {} transitions, "
           "{} sheds)".format(
               overload.get("state", "?"), overload.get("since_s", 0.0),
-              overload.get("transitions", 0), overload.get("sheds", 0)))
+              overload.get("transitions", 0), sum(sheds.values())))
+    for reason, count in sorted(sheds.items()):
+        if count:
+            print("shed       : {} x{}".format(reason, count))
     for name, mark in sorted((overload.get("watermarks") or {}).items()):
         print("watermark  : {} value={value} degraded_at="
               "{degraded_at} shedding_at={shedding_at} "

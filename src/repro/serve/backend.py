@@ -364,13 +364,18 @@ class ServeBackend:
         """
         batch = []
         expired = []
-        for __, rid, (sub, path) in self.scheduler.take(room):
-            if sub.expired():
-                expired.append(sub)
-                continue
-            with self._lock:
+        # take() and the _active registration happen under one hold of
+        # the backend lock: submit_scenario checks "in _active or still
+        # queued" under the same lock, so a duplicate rid can never
+        # slip through the window between leaving the scheduler and
+        # becoming in-flight
+        with self._lock:
+            for __, rid, (sub, path) in self.scheduler.take(room):
+                if sub.expired():
+                    expired.append(sub)
+                    continue
                 self._active[rid] = sub
-            batch.append((rid, path))
+                batch.append((rid, sub, path))
         for sub in expired:
             sub.emit_event("unit-skip",
                            {"unit": sub.rid, "reason": "deadline"})
@@ -378,11 +383,9 @@ class ServeBackend:
         if not batch and self.scheduler.depth() == 0 \
                 and self._drain.is_set():
             return None
-        for rid, __ in batch:
-            with self._lock:
-                sub = self._active[rid]
+        for rid, sub, __ in batch:
             sub.emit_event("unit-start", {"unit": rid, "attempt": 0})
-        return batch
+        return [(rid, path) for rid, __, path in batch]
 
     def _feed_rank(self, unit_id, _payload):
         """Pool launch order within a feed batch: priority, then deadline."""

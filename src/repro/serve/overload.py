@@ -28,7 +28,7 @@ at the clients.
 Watermarks are :class:`Watermark` objects wrapping an injectable probe
 callable, so tests drive transitions with plain numbers and the server
 wires real probes (admitted-queue fraction, ``shutil.disk_usage`` on
-the state directory, executor in-flight depth).  The governor itself
+the state directory, executor backlog depth).  The governor itself
 is clock-injectable and lock-free to *read* -- ``evaluate()`` is
 called on every admission, so it must stay cheap.
 """
@@ -207,19 +207,27 @@ class OverloadGovernor:
 def default_governor(server):
     """The server's standard watermark set.
 
-    * ``queue`` -- admitted units as a fraction of the global bound;
-    * ``inflight`` -- executor scenario units queued or running, as a
-      fraction of twice the pool width (the pool's own feed room);
+    * ``queue`` -- admitted units (every kind, plan units included) as
+      a fraction of the *configured* global bound ``max_queue``;
+    * ``inflight`` -- executor backlog: scenario units queued or
+      running, as a fraction of eight times the pool width.  The pool
+      itself never holds more than twice its width launched (its feed
+      room), so everything past that is scheduler backlog; degraded at
+      6x and shedding at 7.6x the pool width means the executor is
+      overcommitted by several full refills.  Unlike ``queue`` this
+      scales with the deployment's ``--jobs``, not the admission
+      config -- a small executor behind a generous ``max_queue``
+      degrades here long before the global bound notices;
     * ``disk_free_mb`` -- free space on the state directory's volume.
     """
     backend = server.backend
-    inflight_cap = 8.0 * max(1, backend.jobs)
+    backlog_cap = 8.0 * max(1, backend.jobs)
     return OverloadGovernor([
         Watermark("queue",
                   lambda: server.units_admitted() / float(server.max_queue),
                   degraded_at=0.75, shedding_at=0.95),
         Watermark("inflight",
-                  lambda: backend.queue_depth() / inflight_cap,
+                  lambda: backend.queue_depth() / backlog_cap,
                   degraded_at=0.75, shedding_at=0.95),
         Watermark("disk_free_mb",
                   disk_free_mb_probe(backend.state_dir),

@@ -37,6 +37,7 @@ synchronization.
 """
 
 import bisect
+import collections
 import threading
 import time
 
@@ -66,7 +67,7 @@ def percentile(values, fraction):
 
 class _Item:
     __slots__ = ("tenant", "key", "payload", "deadline", "cost",
-                 "enqueued_at", "seq")
+                 "enqueued_at", "seq", "removed")
 
     def __init__(self, tenant, key, payload, deadline, cost,
                  enqueued_at, seq):
@@ -77,6 +78,8 @@ class _Item:
         self.cost = cost
         self.enqueued_at = enqueued_at
         self.seq = seq
+        #: lazy-deletion marker for the arrival deque
+        self.removed = False
 
     def order(self):
         """Within-tenant dispatch order: EDF first, then arrival."""
@@ -86,14 +89,20 @@ class _Item:
 
 
 class _TenantQueue:
-    __slots__ = ("tenant", "weight", "items", "deficit", "dispatched",
-                 "waits")
+    __slots__ = ("tenant", "weight", "items", "arrivals", "deficit",
+                 "dispatched", "waits")
 
     def __init__(self, tenant, weight):
         self.tenant = tenant
         self.weight = max(0.0, float(weight))
         #: kept sorted by _Item.order(); insertion is a bisect
         self.items = []
+        #: the same items in arrival order (the clock is monotonic, so
+        #: push order is age order); dispatch/discard mark ``removed``
+        #: and the head is cleaned lazily -- this is what keeps the
+        #: global oldest-item lookup a per-tenant head comparison
+        #: instead of a full scan on every dispatch
+        self.arrivals = collections.deque()
         self.deficit = 0.0
         #: lifetime dispatch count (fairness evidence)
         self.dispatched = 0
@@ -103,6 +112,17 @@ class _TenantQueue:
     def push(self, item):
         keys = [entry.order() for entry in self.items]
         self.items.insert(bisect.bisect_right(keys, item.order()), item)
+        self.arrivals.append(item)
+
+    def remove(self, item):
+        self.items.remove(item)
+        item.removed = True
+
+    def oldest(self):
+        """The tenant's oldest queued item (None when drained)."""
+        while self.arrivals and self.arrivals[0].removed:
+            self.arrivals.popleft()
+        return self.arrivals[0] if self.arrivals else None
 
     def note_wait(self, wait_s):
         self.waits.append(wait_s)
@@ -240,18 +260,22 @@ class FairShareScheduler:
         return self._oldest_item()
 
     def _oldest_item(self):
+        # compare per-tenant arrival heads: O(tenants) per dispatch,
+        # not O(queued items) -- a FIFO burst must not go quadratic
         oldest = None
         for queue in self._tenants.values():
-            for item in queue.items:
-                if oldest is None or item.enqueued_at < oldest.enqueued_at \
-                        or (item.enqueued_at == oldest.enqueued_at
-                            and item.seq < oldest.seq):
-                    oldest = item
+            item = queue.oldest()
+            if item is None:
+                continue
+            if oldest is None \
+                    or (item.enqueued_at, item.seq) \
+                    < (oldest.enqueued_at, oldest.seq):
+                oldest = item
         return oldest
 
     def _account(self, item, now):
         queue = self._tenants[item.tenant]
-        queue.items.remove(item)
+        queue.remove(item)
         queue.deficit = max(0.0, queue.deficit - item.cost)
         if not queue.items:
             queue.deficit = 0.0
@@ -273,7 +297,7 @@ class FairShareScheduler:
             for queue in self._tenants.values():
                 for item in queue.items:
                     if item.key == key:
-                        queue.items.remove(item)
+                        queue.remove(item)
                         self._depth -= 1
                         return True
         return False
@@ -315,17 +339,19 @@ class FairShareScheduler:
                     "p99_wait_ms": round(
                         percentile(queue.waits, 0.99) * 1000.0, 3),
                 }
-                if queue.items:
+                head = queue.oldest()
+                if head is not None:
                     entry["oldest_wait_s"] = round(
-                        max(0.0, now - min(
-                            item.enqueued_at for item in queue.items
-                        )), 3)
+                        max(0.0, now - head.enqueued_at), 3)
                 tenants[name] = entry
+            oldest = self._oldest_item()
             return {
                 "mode": self.mode,
                 "depth": self._depth,
                 "quantum": self.quantum,
                 "aging_s": self.aging_s,
                 "aged_dispatches": self._aged_dispatches,
+                "oldest_wait_s": 0.0 if oldest is None else round(
+                    max(0.0, now - oldest.enqueued_at), 3),
                 "tenants": tenants,
             }
