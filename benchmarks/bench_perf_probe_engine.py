@@ -62,8 +62,10 @@ def _fig4_sweep_per_op():
 
 def _fig4_sweep_batched():
     machine = Machine.linux(seed=4)
+    # pinned to the row-loop engine: this is the control arm the new
+    # columnar numbers are compared against
     machine.core.probe_sweep(_kernel_slot_vas(), rounds=SWEEP_ROUNDS,
-                             op="load")
+                             op="load", engine="batched")
 
 
 def _bench_fig4():
@@ -89,13 +91,15 @@ def _bench_table1():
         if target == "base":
             def attack(batched):
                 machine = Machine.linux(cpu=cpu, seed=seed)
-                result = break_kaslr(machine, batched=batched)
+                result = break_kaslr(machine, batched=batched,
+                                     engine="batched" if batched else None)
                 assert result.base == machine.kernel.base
                 return result.base
         else:
             def attack(batched):
                 machine = Machine.linux(cpu=cpu, seed=seed)
-                result = detect_modules(machine, batched=batched)
+                result = detect_modules(machine, batched=batched,
+                                        engine="batched" if batched else None)
                 assert region_accuracy(result, machine.kernel) >= 0.98
                 return sorted(result.identified.items())
         reference = attack(batched=False)
@@ -111,6 +115,75 @@ def _bench_table1():
             "outcome_equal": True,
         })
     return rows
+
+
+# -- the columnar engine: full-range module / userspace scans -----------------
+
+MODULE_SCAN_SLOTS = layout.MODULE_SLOTS
+USER_SCAN_PAGES = 8192
+USER_MAPPED_PAGES = 4096
+
+
+def _module_scan_vas():
+    return [
+        layout.MODULE_START + slot * 4096
+        for slot in range(MODULE_SCAN_SLOTS)
+    ]
+
+
+def _user_scan_machine_and_vas():
+    machine = Machine.linux(seed=6)
+    base = machine.process.mmap(USER_MAPPED_PAGES)
+    vas = [base + page * 4096 for page in range(USER_SCAN_PAGES)]
+    return machine, vas
+
+
+def _scan_arm(vas_of, op, rounds, engine):
+    machine, vas = vas_of()
+    machine.core.probe_sweep(vas, rounds=rounds, op=op, warm=False,
+                             reduce="min", engine=engine)
+
+
+def _scan_per_op(vas_of, op, rounds):
+    machine, vas = vas_of()
+    probe = (machine.core.timed_masked_store if op == "store"
+             else machine.core.timed_masked_load)
+    for va in vas:
+        min(probe(va) for __ in range(rounds))
+
+
+def _bench_columnar():
+    """Full-range scans: per-op vs batched (control) vs columnar."""
+    sections = {}
+    for name, vas_of, op, rounds in (
+        ("modules_full_range",
+         lambda: (Machine.linux(seed=6), _module_scan_vas()), "load", 4),
+        ("userspace_rw_scan", _user_scan_machine_and_vas, "store", 2),
+    ):
+        per_op = _wall(lambda: _scan_per_op(vas_of, op, rounds), repeats=2)
+        batched = _wall(lambda: _scan_arm(vas_of, op, rounds, "batched"),
+                        repeats=2)
+        columnar = _wall(lambda: _scan_arm(vas_of, op, rounds, "columnar"),
+                         repeats=3)
+        sections[name] = {
+            "addresses": len(vas_of()[1]),
+            "rounds": rounds,
+            "op": op,
+            "per_op_s": round(per_op, 4),
+            "batched_s": round(batched, 4),
+            "columnar_s": round(columnar, 4),
+            "speedup_vs_per_op": round(per_op / columnar, 2),
+            "speedup_vs_batched": round(batched / columnar, 2),
+        }
+    fig4_columnar = _wall(lambda: Machine.linux(seed=4).core.probe_sweep(
+        _kernel_slot_vas(), rounds=SWEEP_ROUNDS, op="load",
+        engine="columnar"))
+    sections["fig4_sweep"] = {
+        "slots": layout.KERNEL_TEXT_SLOTS,
+        "rounds": SWEEP_ROUNDS,
+        "columnar_s": round(fig4_columnar, 4),
+    }
+    return sections
 
 
 def _suite_per_op_serial():
@@ -142,14 +215,20 @@ def _bench_suite():
 def run_probe_engine():
     fig4 = _bench_fig4()
     table1 = _bench_table1()
+    columnar = _bench_columnar()
     suite = _bench_suite()
 
     # the engine's reason to exist: sweeps >= 5x, the full suite >= 2x
     assert fig4["speedup"] >= 5.0, fig4
     assert suite["speedup"] >= 2.0, suite
+    # the columnar core's reason to exist: full-range scans >= 10x per-op
+    for section in ("modules_full_range", "userspace_rw_scan"):
+        assert columnar[section]["speedup_vs_per_op"] >= 10.0, \
+            columnar[section]
 
     BENCH_JSON.write_text(json.dumps(
-        {"fig4_sweep": fig4, "table1": table1, "suite": suite}, indent=2,
+        {"fig4_sweep": fig4, "table1": table1, "columnar": columnar,
+         "suite": suite}, indent=2,
     ) + "\n")
 
     rows = [[
@@ -160,6 +239,13 @@ def run_probe_engine():
         rows.append([
             "table1 {} {}".format(row["cpu"], row["target"]),
             row["per_op_s"], row["batched_s"], row["speedup"],
+        ])
+    for name in ("modules_full_range", "userspace_rw_scan"):
+        section = columnar[name]
+        rows.append([
+            "columnar " + name,
+            section["per_op_s"], section["columnar_s"],
+            section["speedup_vs_per_op"],
         ])
     rows.append([
         "suite ({} scenarios, --jobs {})".format(

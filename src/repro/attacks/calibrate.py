@@ -48,7 +48,7 @@ def robust_stats(values):
 
 
 def calibrate_store_threshold(machine, samples=600, slack_sigmas=3.0,
-                              slack_cycles=2.0, batched=False):
+                              slack_cycles=2.0, batched=False, engine=None):
     """Measure the masked store on the attacker's clean USER-M page.
 
     Returns a :class:`ThresholdCalibration` whose threshold sits a few
@@ -62,7 +62,8 @@ def calibrate_store_threshold(machine, samples=600, slack_sigmas=3.0,
     if batched:
         values = list(
             core.probe_sweep(
-                [page], rounds=samples, op="store", warm=False, reduce=None
+                [page], rounds=samples, op="store", warm=False, reduce=None,
+                engine=engine,
             )[0]
         )
     else:

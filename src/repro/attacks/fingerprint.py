@@ -44,7 +44,8 @@ class ApplicationFingerprinter:
     """TLB-state spy over a sentinel-module vector."""
 
     def __init__(self, machine, sentinels=SENTINEL_MODULES,
-                 hit_threshold=None, module_addresses=None, batched=False):
+                 hit_threshold=None, module_addresses=None, batched=False,
+                 engine=None):
         self.machine = machine
         self.core = machine.core
         cpu = machine.cpu
@@ -56,7 +57,8 @@ class ApplicationFingerprinter:
         self.hit_threshold = hit_threshold
 
         if module_addresses is None:
-            detection = detect_modules(machine, batched=batched)
+            detection = detect_modules(machine, batched=batched,
+                                       engine=engine)
             module_addresses = {}
             for name in sentinels:
                 address = detection.address_of(name)

@@ -55,7 +55,8 @@ class KaslrBreakResult:
         )
 
 
-def break_kaslr(machine, rounds=None, calibration=None, batched=False):
+def break_kaslr(machine, rounds=None, calibration=None, batched=False,
+                engine=None):
     """Dispatch to the appropriate KASLR break for this machine.
 
     KPTI status is world-readable on real systems
@@ -67,14 +68,17 @@ def break_kaslr(machine, rounds=None, calibration=None, batched=False):
         from repro.attacks.kpti_break import break_kaslr_kpti
 
         return break_kaslr_kpti(machine, rounds=rounds,
-                                calibration=calibration, batched=batched)
+                                calibration=calibration, batched=batched,
+                                engine=engine)
     if machine.cpu.fills_tlb_for_supervisor_user_probe:
         return break_kaslr_intel(machine, rounds, calibration,
-                                 batched=batched)
-    return break_kaslr_amd(machine, rounds, batched=batched)
+                                 batched=batched, engine=engine)
+    return break_kaslr_amd(machine, rounds, batched=batched,
+                           engine=engine)
 
 
-def break_kaslr_intel(machine, rounds=None, calibration=None, batched=False):
+def break_kaslr_intel(machine, rounds=None, calibration=None,
+                      batched=False, engine=None):
     """Double-probe all 512 slots and locate the first mapped run.
 
     ``batched=True`` routes the 512-slot sweep (and the calibration)
@@ -88,7 +92,8 @@ def break_kaslr_intel(machine, rounds=None, calibration=None, batched=False):
     total_start = core.clock.cycles
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine, batched=batched)
+        calibration = calibrate_store_threshold(machine, batched=batched,
+                                                engine=engine)
 
     probe_start = core.clock.cycles
     if batched:
@@ -96,7 +101,8 @@ def break_kaslr_intel(machine, rounds=None, calibration=None, batched=False):
             layout.kernel_base_of_slot(slot)
             for slot in range(layout.KERNEL_TEXT_SLOTS)
         ]
-        timings = list(core.probe_sweep(vas, rounds=rounds, op="load"))
+        timings = list(core.probe_sweep(vas, rounds=rounds, op="load",
+                                        engine=engine))
     else:
         timings = []
         for slot in range(layout.KERNEL_TEXT_SLOTS):
@@ -123,7 +129,7 @@ def break_kaslr_intel(machine, rounds=None, calibration=None, batched=False):
 
 def break_kaslr_amd(machine, rounds=None,
                     page_offsets=layout.KERNEL_4K_PAGE_OFFSETS,
-                    min_votes=5, batched=False):
+                    min_votes=5, batched=False, engine=None):
     """Score candidate bases by the deep-walk signature of 4 KiB pages."""
     core = machine.core
     if rounds is None:
@@ -145,7 +151,8 @@ def break_kaslr_amd(machine, rounds=None,
             for slot in range(usable)
             for offset in page_offsets
         ]
-        flat = core.probe_sweep(vas, rounds=rounds, op="load")
+        flat = core.probe_sweep(vas, rounds=rounds, op="load",
+                                engine=engine)
         width = len(page_offsets)
         per_candidate = [
             list(flat[i * width : (i + 1) * width]) for i in range(usable)

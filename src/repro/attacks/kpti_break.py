@@ -18,7 +18,7 @@ from repro.os.linux import layout
 
 
 def break_kaslr_kpti(machine, trampoline_offset=None, rounds=None,
-                     calibration=None, batched=False):
+                     calibration=None, batched=False, engine=None):
     """Locate the trampoline in the user table and subtract its offset."""
     core = machine.core
     if rounds is None:
@@ -32,7 +32,8 @@ def break_kaslr_kpti(machine, trampoline_offset=None, rounds=None,
     total_start = core.clock.cycles
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine, batched=batched)
+        calibration = calibrate_store_threshold(machine, batched=batched,
+                                                engine=engine)
 
     probe_start = core.clock.cycles
     if batched:
@@ -40,7 +41,8 @@ def break_kaslr_kpti(machine, trampoline_offset=None, rounds=None,
             layout.kernel_base_of_slot(slot)
             for slot in range(layout.KERNEL_TEXT_SLOTS)
         ]
-        timings = list(core.probe_sweep(vas, rounds=rounds, op="load"))
+        timings = list(core.probe_sweep(vas, rounds=rounds, op="load",
+                                        engine=engine))
     else:
         timings = []
         for slot in range(layout.KERNEL_TEXT_SLOTS):

@@ -96,7 +96,8 @@ def _runs_from_bitmap(mapped_flags, start_va):
 
 
 def detect_modules(machine, rounds=None, calibration=None,
-                   max_slots=layout.MODULE_SLOTS, batched=False):
+                   max_slots=layout.MODULE_SLOTS, batched=False,
+                   engine=None):
     """Run the full module detection + size classification attack.
 
     ``max_slots`` restricts the scan (the full window is 16384 slots);
@@ -110,7 +111,8 @@ def detect_modules(machine, rounds=None, calibration=None,
     total_start = core.clock.cycles
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine, batched=batched)
+        calibration = calibrate_store_threshold(machine, batched=batched,
+                                                engine=engine)
 
     probe_start = core.clock.cycles
     if batched:
@@ -120,7 +122,7 @@ def detect_modules(machine, rounds=None, calibration=None,
         ]
         # min-filtered: a single spike must not split a module in two
         timings = core.probe_sweep(vas, rounds=rounds, op="load",
-                                   reduce="min")
+                                   reduce="min", engine=engine)
         mapped_flags = [calibration.classify_mapped(t) for t in timings]
     else:
         mapped_flags = []

@@ -56,7 +56,7 @@ class UserScanResult:
 
 
 def _calibrate_unmapped_boundary(machine, samples=200, use_store=False,
-                                 batched=False):
+                                 batched=False, engine=None):
     """Self-calibrate against the attacker's own unmapped guard page."""
     core = machine.core
     if batched:
@@ -64,6 +64,7 @@ def _calibrate_unmapped_boundary(machine, samples=200, use_store=False,
             core.probe_sweep(
                 [machine.playground.unmapped], rounds=samples,
                 op="store" if use_store else "load", warm=False, reduce=None,
+                engine=engine,
             )[0]
         )
     else:
@@ -111,7 +112,7 @@ def _runs_of(addresses):
 
 def _region_scan(machine, classify, probe, rounds, window_pages,
                  background_samples, mode, region_start=None,
-                 region_pages=None, batched_op=None):
+                 region_pages=None, batched_op=None, engine=None):
     """Shared scan loop: probe the sample set, classify, extrapolate.
 
     ``batched_op`` ("load"/"store") switches the whole sample set onto
@@ -130,7 +131,8 @@ def _region_scan(machine, classify, probe, rounds, window_pages,
     probe_start = core.clock.cycles
     if batched_op is not None:
         best_of = core.probe_sweep(
-            addresses, rounds=rounds, op=batched_op, warm=False, reduce="min"
+            addresses, rounds=rounds, op=batched_op, warm=False, reduce="min",
+            engine=engine,
         )
         positives = [
             va for va, best in zip(addresses, best_of) if classify(best)
@@ -157,7 +159,7 @@ def _region_scan(machine, classify, probe, rounds, window_pages,
 
 
 def find_user_code_base(machine, rounds=2, window_pages=64,
-                        background_samples=2048, batched=False):
+                        background_samples=2048, batched=False, engine=None):
     """Scan the 0x55XXXXXXX000 region for the executable's base (P2).
 
     A single masked-load probe per page suffices here: a mapped *user*
@@ -167,16 +169,16 @@ def find_user_code_base(machine, rounds=2, window_pages=64,
     """
     core = machine.core
     boundary = _calibrate_unmapped_boundary(machine, use_store=False,
-                                            batched=batched)
+                                            batched=batched, engine=engine)
     return _region_scan(
         machine, lambda t: t <= boundary, core.timed_masked_load, rounds,
         window_pages, background_samples, mode="load",
-        batched_op="load" if batched else None,
+        batched_op="load" if batched else None, engine=engine,
     )
 
 
 def scan_rw_pages(machine, rounds=2, window_pages=64,
-                  background_samples=2048, batched=False):
+                  background_samples=2048, batched=False, engine=None):
     """The paper's second (masked-store) pass: find written data pages.
 
     A store on a dirty writable page retires with no assist at all -- far
@@ -192,7 +194,7 @@ def scan_rw_pages(machine, rounds=2, window_pages=64,
     return _region_scan(
         machine, lambda t: t <= boundary, core.timed_masked_store, rounds,
         window_pages, background_samples, mode="store-rw",
-        batched_op="store" if batched else None,
+        batched_op="store" if batched else None, engine=engine,
     )
 
 

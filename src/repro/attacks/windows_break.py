@@ -103,14 +103,15 @@ def _sample_slots(total_slots, hot_slots, window, background):
 
 def find_kernel_region(machine, rounds=None, calibration=None,
                        window_slots=256, background_slots=4096,
-                       batched=False):
+                       batched=False, engine=None):
     """Locate the five consecutive 2 MiB kernel slots (18 bits)."""
     core = machine.core
     if rounds is None:
         rounds = machine.cpu.rounds_default
     core.run_setup()
     if calibration is None:
-        calibration = calibrate_store_threshold(machine, batched=batched)
+        calibration = calibrate_store_threshold(machine, batched=batched,
+                                                engine=engine)
 
     slots = _sample_slots(
         layout.KERNEL_SLOTS, machine.kernel.region_slots(),
@@ -122,7 +123,8 @@ def find_kernel_region(machine, rounds=None, calibration=None,
             layout.KERNEL_START + slot * layout.KERNEL_ALIGN
             for slot in slots
         ]
-        timings = core.probe_sweep(vas, rounds=rounds, op="load")
+        timings = core.probe_sweep(vas, rounds=rounds, op="load",
+                                   engine=engine)
         verdicts = [
             (slot, calibration.classify_mapped(t))
             for slot, t in zip(slots, timings)
@@ -167,13 +169,14 @@ def find_kernel_region(machine, rounds=None, calibration=None,
 
 def find_kvas_region(machine, rounds=1, window_pages=512,
                      background_slots=8192, kvas_offset=layout.KVAS_OFFSET,
-                     batched=False):
+                     batched=False, engine=None):
     """Locate the three consecutive KVAS pages and recover the base."""
     core = machine.core
     if not machine.kernel.kvas:
         raise ValueError("find_kvas_region needs a KVAS-enabled kernel")
     core.run_setup()
-    calibration = calibrate_store_threshold(machine, batched=batched)
+    calibration = calibrate_store_threshold(machine, batched=batched,
+                                            engine=engine)
 
     total_pages = (layout.KERNEL_END - layout.KERNEL_START) // PAGE_SIZE
     kvas_page = (machine.kernel.kvas_base - layout.KERNEL_START) // PAGE_SIZE
@@ -185,7 +188,8 @@ def find_kvas_region(machine, rounds=1, window_pages=512,
         vas = [
             layout.KERNEL_START + page * PAGE_SIZE for page in pages
         ]
-        timings = core.probe_sweep(vas, rounds=rounds, op="load")
+        timings = core.probe_sweep(vas, rounds=rounds, op="load",
+                                   engine=engine)
         verdicts = [
             (page, calibration.classify_mapped(t))
             for page, t in zip(pages, timings)

@@ -112,6 +112,18 @@ class ChaosRuntime:
         """
         return bool(self._arrivals)
 
+    def next_deadline(self):
+        """Earliest armed event deadline in cycles, or None when quiet.
+
+        The columnar engine uses this to bound how many rows it may
+        execute as one vectorized segment before the next ``poll()``
+        could fire an event: any row whose poll boundary would reach
+        this clock value must go back through the per-row path.
+        """
+        if not self._arrivals:
+            return None
+        return min(self._arrivals.values())
+
     # -- the poll loop --------------------------------------------------------
 
     def poll(self):

@@ -1,0 +1,645 @@
+"""Columnar probe engine: struct-of-arrays state evolution for sweeps.
+
+The batched engine (:mod:`repro.cpu.engine`) already collapses each VA's
+``rounds`` repetitions into two reference ops plus a closed-form replay,
+but those two ops still run the per-op simulator: a Python TLB lookup
+over four arrays, a Python radix walk, per-level line-cache dictionary
+traffic -- per address.  Full-range scans (16 Ki module slots, hundreds
+of thousands of userspace pages) spend all their time there.
+
+This module removes the per-address simulator from the loop.  It
+*compiles* a window of the sweep against the machine's current MMU state
+into dense numpy arrays -- one column per per-VA attribute:
+
+* structural resolution: per-level page-table node ids and indices,
+  terminal level, present/user/writable/dirty bits, PFN (derived by a
+  vectorized radix descent over the page-table nodes, with per-node
+  sorted-key arrays cached against the global mutation generation);
+* timing inputs: walk base cycles, assist costs, op base;
+* replacement-state interaction points: *run* boundaries (the node chain
+  changed -> the PSC resume depth must be measured against the real
+  LRU state) and *group* boundaries (the terminal paging line changed ->
+  the line cache must really be touched).
+
+Only boundary rows interact with the real PSC / paging-line caches --
+through the exact same ``deepest_hit`` / ``access`` / ``fill`` call
+sequence the walker issues, in row order.  Every interior row's cache
+outcome is forced by the boundary row that opened its run or group (the
+walk resumes at the terminal level and its line is hot and
+most-recently-used), so interior rows are pure array arithmetic.  The
+TLB is evolved the same way: a window is only *eligible* if the compile
+step can prove from the live TLB contents that every first access
+misses every array and no two sweep fills collide, in which case hit/
+miss counters, per-set bucket order (LRU replay), and the closed-form
+clock/perf replay are applied per window instead of per op.
+
+Anything the proof does not cover -- ineligible windows, non-canonical
+or page-spanning addresses, zero-mask-NOP hardware, disabled or
+undersized PSC/line caches, active tracing -- falls back to the per-op
+reference row loop (:func:`repro.cpu.engine.sweep_rows`), window by
+window, inside the same sweep.  Both paths write the same
+:class:`~repro.cpu.engine.SweepState` and share one
+:func:`~repro.cpu.engine.finalize_sweep`, which is what keeps the
+columnar path *bit-identical* to the batched engine: same measured
+matrix, same clock, same performance counters, same TLB/PSC/line-cache
+state, same chaos schedule.  The per-op simulator remains the oracle;
+``tests/test_columnar.py`` asserts the three-way equivalence.
+
+Under an active chaos runtime the sweep is additionally segmented by
+:meth:`~repro.chaos.runtime.ChaosRuntime.next_deadline`: the window
+executes vectorized only up to the row whose poll boundary would fire
+the next disturbance, the event fires at exactly the per-op clock value,
+and the remainder recompiles against the disturbed machine state.
+"""
+
+import numpy as np
+
+from repro.cpu import engine as _engine
+from repro.mmu import pagetable as _pagetable
+from repro.mmu.address import (
+    CANONICAL_HIGH_START,
+    CANONICAL_LOW_END,
+    PAGE_SIZE,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+)
+from repro.mmu.flags import PageFlags
+from repro.mmu.tlb import TLBEntry
+
+#: below this sweep length the compile overhead is not worth it; the
+#: auto selection in :meth:`repro.cpu.core.Core.probe_sweep` keeps such
+#: sweeps (calibration single pages, supervisor re-probes) on the
+#: batched engine
+COLUMNAR_MIN_VAS = 32
+
+#: rows compiled per window: bounds the blast radius of an ineligible
+#: address (the whole window falls back to the per-op row loop) and the
+#: recompile cost after a mid-sweep disturbance
+WINDOW_ROWS = 4096
+
+#: introspection for tests and benchmarks: how the last columnar_sweep
+#: call executed ("columnar" with row counts, or "delegated" + reason)
+last_info = {
+    "mode": None,
+    "reason": None,
+    "columnar_rows": 0,
+    "fallback_rows": 0,
+    "windows": 0,
+}
+
+_SIZE_CODE = {PAGE_SIZE: 0, PAGE_SIZE_2M: 1, PAGE_SIZE_1G: 2}
+#: terminal level -> vpn shift / packed size code / page size (level 0
+#: entries are unreachable for present rows; the compiler rejects them)
+_VPN_SHIFT_OF_LEVEL = np.array([12, 30, 21, 12], dtype=np.uint64)
+_CODE_OF_LEVEL = np.array([0, 2, 1, 0], dtype=np.int64)
+_SIZE_OF_LEVEL_ARR = np.array(
+    [0, PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE], dtype=np.int64
+)
+
+_LEVEL_SHIFTS_U64 = tuple(np.uint64(s) for s in (39, 30, 21, 12))
+_INDEX_MASK_U64 = np.uint64(0x1FF)
+
+#: per-node column cache: node_id -> (mutation generation, _NodeArrays).
+#: node ids are globally unique and never reused, so a stale hit is
+#: impossible; the generation tag drops columns when any table mutates.
+_NODE_CACHE = {}
+_NODE_CACHE_MAX = 8192
+
+
+class _Ineligible(Exception):
+    """Raised during compile when a window cannot be proven safe."""
+
+
+class _NodeArrays:
+    """Columnar image of one paging-structure node's sparse entries."""
+
+    __slots__ = ("keys", "present", "terminal", "pfn", "user", "writable",
+                 "dirty", "flag_objs", "children")
+
+    def __init__(self, node):
+        items = sorted(node.entries.items())
+        count = len(items)
+        self.keys = np.empty(count, dtype=np.int64)
+        self.present = np.empty(count, dtype=bool)
+        self.terminal = np.empty(count, dtype=bool)
+        self.pfn = np.zeros(count, dtype=np.int64)
+        self.user = np.empty(count, dtype=bool)
+        self.writable = np.empty(count, dtype=bool)
+        self.dirty = np.empty(count, dtype=bool)
+        self.flag_objs = np.empty(count, dtype=object)
+        self.children = [None] * count
+        for slot, (index, entry) in enumerate(items):
+            flags = entry.flags
+            self.keys[slot] = index
+            self.present[slot] = bool(flags & PageFlags.PRESENT)
+            self.terminal[slot] = entry.child is None
+            self.pfn[slot] = entry.pfn if entry.pfn is not None else 0
+            self.user[slot] = bool(flags & PageFlags.USER)
+            self.writable[slot] = bool(flags & PageFlags.WRITABLE)
+            self.dirty[slot] = bool(flags & PageFlags.DIRTY)
+            self.flag_objs[slot] = flags
+            self.children[slot] = entry.child
+
+
+def _node_arrays(node):
+    generation = _pagetable._mutation_generation
+    cached = _NODE_CACHE.get(node.node_id)
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    arrays = _NodeArrays(node)
+    if len(_NODE_CACHE) >= _NODE_CACHE_MAX:
+        _NODE_CACHE.clear()
+    _NODE_CACHE[node.node_id] = (generation, arrays)
+    return arrays
+
+
+class _Resolved:
+    """Structural-resolution columns for one window (SoA Lookup)."""
+
+    __slots__ = ("node_ids", "T", "present", "pfn", "user", "writable",
+                 "dirty", "flag_objs")
+
+    def __init__(self, n):
+        self.node_ids = np.full((4, n), -1, dtype=np.int64)
+        self.T = np.zeros(n, dtype=np.int64)
+        self.present = np.zeros(n, dtype=bool)
+        self.pfn = np.zeros(n, dtype=np.int64)
+        self.user = np.zeros(n, dtype=bool)
+        self.writable = np.zeros(n, dtype=bool)
+        self.dirty = np.zeros(n, dtype=bool)
+        self.flag_objs = np.empty(n, dtype=object)
+
+
+def _resolve(node, level, rows, idx_cols, out):
+    """Vectorized radix descent: classify ``rows`` through ``node``."""
+    out.node_ids[level, rows] = node.node_id
+    arrays = _node_arrays(node)
+    idx = idx_cols[level][rows]
+    if arrays.keys.size == 0:
+        out.T[rows] = level
+        return
+    pos = np.searchsorted(arrays.keys, idx)
+    in_bounds = pos < arrays.keys.size
+    pos_c = np.where(in_bounds, pos, 0)
+    found = in_bounds & (arrays.keys[pos_c] == idx)
+
+    missing = rows[~found]
+    if missing.size:
+        out.T[missing] = level
+    found_rows = rows[found]
+    found_pos = pos_c[found]
+    if not found_rows.size:
+        return
+    present = arrays.present[found_pos]
+    not_present = found_rows[~present]
+    if not_present.size:
+        out.T[not_present] = level
+    live_rows = found_rows[present]
+    live_pos = found_pos[present]
+    if not live_rows.size:
+        return
+    terminal = arrays.terminal[live_pos]
+    term_rows = live_rows[terminal]
+    if term_rows.size:
+        if level == 0:
+            raise _Ineligible("terminal-at-pml4")
+        term_pos = live_pos[terminal]
+        out.T[term_rows] = level
+        out.present[term_rows] = True
+        out.pfn[term_rows] = arrays.pfn[term_pos]
+        out.user[term_rows] = arrays.user[term_pos]
+        out.writable[term_rows] = arrays.writable[term_pos]
+        out.dirty[term_rows] = arrays.dirty[term_pos]
+        out.flag_objs[term_rows] = arrays.flag_objs[term_pos]
+    dir_rows = live_rows[~terminal]
+    if dir_rows.size:
+        if level == 3:
+            raise _Ineligible("malformed-pt")
+        dir_pos = live_pos[~terminal]
+        for slot in np.unique(dir_pos):
+            _resolve(
+                arrays.children[slot], level + 1,
+                dir_rows[dir_pos == slot], idx_cols, out,
+            )
+
+
+class _Plan:
+    """One compiled, eligibility-proven window of a sweep."""
+
+    __slots__ = ("n", "T", "present", "idx_all", "node_ids", "term_node",
+                 "term_idx", "run_first", "boundary", "walk_base", "op_base",
+                 "assist", "has_assist", "fill_mask", "walks2", "vpn", "pfn",
+                 "flag_objs", "page_size", "size_code")
+
+
+def _tlb_key_sets(tlb):
+    """Packed (vpn, size) keys currently cached: (visible, all)."""
+    asid = tlb.active_asid
+    visible = set()
+    all_keys = set()
+    for array in list(tlb.l1.values()) + [tlb.stlb]:
+        for bucket in array._sets:
+            for entry in bucket:
+                key = entry.vpn * 4 + _SIZE_CODE[entry.page_size]
+                all_keys.add(key)
+                if entry.asid == asid or entry.is_global:
+                    visible.add(key)
+    return visible, all_keys
+
+
+def _compile(core, vas, op):
+    """Compile one window (``vas``: uint64 array) into a :class:`_Plan`.
+
+    Returns None when the window cannot be proven equivalent to the
+    per-op path; the caller then routes those rows through
+    :func:`repro.cpu.engine.sweep_rows`.
+    """
+    n = vas.size
+    canonical = (vas <= np.uint64(CANONICAL_LOW_END)) \
+        | (vas >= np.uint64(CANONICAL_HIGH_START))
+    if not canonical.all():
+        return None
+    # a 32-byte vector whose base offset exceeds 4064 spans two pages
+    if ((vas & np.uint64(0xFFF)) > np.uint64(4064)).any():
+        return None
+
+    idx_cols = [
+        ((vas >> shift) & _INDEX_MASK_U64).astype(np.int64)
+        for shift in _LEVEL_SHIFTS_U64
+    ]
+    out = _Resolved(n)
+    try:
+        _resolve(core.address_space.page_table.root, 0,
+                 np.arange(n, dtype=np.int64), idx_cols, out)
+    except _Ineligible:
+        return None
+
+    T = out.T
+    present = out.present
+    vpn = (vas >> _VPN_SHIFT_OF_LEVEL[T]).astype(np.int64)
+    size_code = _CODE_OF_LEVEL[T]
+    cpu = core.cpu
+    fill_mask = present & (out.user | cpu.fills_tlb_for_supervisor_user_probe)
+
+    # -- TLB eligibility proof -------------------------------------------
+    # A: no candidate lookup key (any page size) may hit a visible entry,
+    #    so every first access is a full miss;
+    # B: no fill key may match a cached key of any tag, or TLB.fill would
+    #    replace in place instead of appending (it ignores the asid);
+    # C: no fill key may collide with any other row's candidate keys, so
+    #    sweep fills never hit or replace each other.
+    cand = np.concatenate([
+        ((vas >> np.uint64(12)).astype(np.int64) << 2),
+        ((vas >> np.uint64(21)).astype(np.int64) << 2) | 1,
+        ((vas >> np.uint64(30)).astype(np.int64) << 2) | 2,
+    ])
+    fill_keys = (vpn * 4 + size_code)[fill_mask]
+    visible, all_keys = _tlb_key_sets(core.tlb)
+    if visible:
+        vis = np.fromiter(visible, dtype=np.int64, count=len(visible))
+        if np.isin(cand, vis).any():
+            return None
+    if fill_keys.size:
+        if all_keys:
+            alk = np.fromiter(all_keys, dtype=np.int64, count=len(all_keys))
+            if np.isin(fill_keys, alk).any():
+                return None
+        unique, counts = np.unique(cand, return_counts=True)
+        if (counts[np.searchsorted(unique, fill_keys)] > 1).any():
+            return None
+
+    # -- per-row timing inputs -------------------------------------------
+    timing = core.walker.timing
+    plan = _Plan()
+    plan.n = n
+    plan.T = T
+    plan.present = present
+    plan.idx_all = np.stack(idx_cols)
+    plan.node_ids = out.node_ids
+    plan.vpn = vpn
+    plan.pfn = out.pfn
+    plan.flag_objs = out.flag_objs
+    plan.page_size = _SIZE_OF_LEVEL_ARR[T]
+    plan.size_code = size_code
+    plan.fill_mask = fill_mask
+    plan.walks2 = ~fill_mask
+    plan.walk_base = timing.base + timing.level_step * (T + 1)
+    if op == "load":
+        plan.op_base = cpu.load_base
+        plan.has_assist = ~(present & out.user)
+        plan.assist = np.where(plan.has_assist, cpu.assist_load, 0)
+    else:
+        plan.op_base = cpu.store_base
+        plan.has_assist = ~(present & out.user & out.writable & out.dirty)
+        plan.assist = np.where(
+            ~present, cpu.assist_store_fault,
+            np.where(~out.user | ~out.writable, cpu.assist_store,
+                     np.where(~out.dirty, cpu.assist_dirty, 0)),
+        )
+
+    # -- run / group decomposition ---------------------------------------
+    rows = np.arange(n)
+    plan.term_node = plan.node_ids[T, rows]
+    plan.term_idx = plan.idx_all[T, rows]
+    run_first = np.empty(n, dtype=bool)
+    run_first[0] = True
+    if n > 1:
+        run_first[1:] = (
+            (plan.node_ids[:, 1:] != plan.node_ids[:, :-1]).any(axis=0)
+            | (T[1:] != T[:-1])
+        )
+    group_first = run_first.copy()
+    if n > 1:
+        group_first[1:] |= (
+            (plan.term_node[1:] != plan.term_node[:-1])
+            | ((plan.term_idx[1:] >> 3) != (plan.term_idx[:-1] >> 3))
+        )
+    plan.run_first = run_first
+    plan.boundary = np.flatnonzero(group_first)
+    return plan
+
+
+def _sim_boundary(core, plan, row, walk1_extra):
+    """Replay row ``row``'s real replacement-state interaction.
+
+    Run-first rows issue the walker's exact PSC probe / line accesses /
+    PSC fills; group-first rows touch just the (new) terminal line.
+    Interior rows are never simulated: their walk resumes at the
+    terminal level and finds its line hot and MRU, so they have no state
+    effect at all (LRU refreshes of an MRU key are no-ops).
+    """
+    walker = core.walker
+    timing = walker.timing
+    lines = walker.line_cache
+    if not plan.run_first[row]:
+        hot = lines.access(int(plan.term_node[row]), int(plan.term_idx[row]))
+        walk1_extra[row] = timing.access_hot if hot else timing.access_cold
+        return
+    terminal = int(plan.T[row])
+    indices = tuple(int(x) for x in plan.idx_all[:, row])
+    psc = walker.psc
+    hit = psc.deepest_hit(indices)
+    start = min(hit + 1, terminal) if hit is not None else 0
+    extra = 0
+    for level in range(start, terminal + 1):
+        hot = lines.access(int(plan.node_ids[level, row]), indices[level])
+        extra += timing.access_hot if hot else timing.access_cold
+    for position in range(start, terminal):
+        psc.fill(indices, position, int(plan.node_ids[position + 1, row]))
+    walk1_extra[row] = extra
+
+
+def _row_cycles(core, plan, walk1_extra, lo, hi, ops_per_va):
+    """First/steady true cycles for plan rows [lo, hi), post-DVFS."""
+    cpu = core.cpu
+    timing = core.walker.timing
+    window = slice(lo, hi)
+    walk_base = plan.walk_base[window]
+    assist = plan.assist[window]
+    first_raw = plan.op_base + walk_base + walk1_extra[window] + assist
+    if ops_per_va == 1:
+        steady_raw = first_raw
+    else:
+        # fillable rows hit their own first-op fill in L1; the rest walk
+        # again, resuming at the terminal level with its line hot
+        steady_raw = np.where(
+            plan.fill_mask[window],
+            plan.op_base + cpu.tlb_hit_l1 + assist,
+            plan.op_base + walk_base + timing.access_hot + assist,
+        )
+    scale = core.dvfs_scale
+    if scale != 1.0:
+        first = np.rint(first_raw * scale).astype(np.int64)
+        steady = first if ops_per_va == 1 \
+            else np.rint(steady_raw * scale).astype(np.int64)
+        return first, steady
+    return first_raw, steady_raw
+
+
+def _run_window(core, plan, state, rounds, warm, seg_start, deadline):
+    """Execute plan rows vectorized; stop at the chaos deadline.
+
+    Returns ``(rows_done, walk1_extra)``.  Boundary simulations are only
+    applied for rows that actually execute; with a deadline, the stop
+    row is predicted exactly (integer cycle arithmetic) so the next
+    ``chaos.poll()`` fires at the same clock value as the per-op path's.
+    """
+    n = plan.n
+    timing = core.walker.timing
+    walk1_extra = np.full(n, timing.access_hot, dtype=np.int64)
+    ops_per_va = 2 * rounds if warm else rounds
+
+    if deadline is None:
+        for row in plan.boundary.tolist():
+            _sim_boundary(core, plan, row, walk1_extra)
+        first, steady = _row_cycles(core, plan, walk1_extra, 0, n, ops_per_va)
+        state.first[seg_start:seg_start + n] = first
+        state.steady[seg_start:seg_start + n] = steady
+        return n, walk1_extra
+
+    cpu = core.cpu
+    per_va_overhead = rounds * (cpu.measurement_overhead + cpu.loop_overhead)
+    base_clock = core.clock.cycles
+    elapsed = 0
+    done = n
+    boundary = plan.boundary.tolist()
+    for k, row in enumerate(boundary):
+        if base_clock + elapsed >= deadline:
+            done = row
+            break
+        nxt = boundary[k + 1] if k + 1 < len(boundary) else n
+        _sim_boundary(core, plan, row, walk1_extra)
+        first, steady = _row_cycles(core, plan, walk1_extra, row, nxt,
+                                    ops_per_va)
+        state.first[seg_start + row:seg_start + nxt] = first
+        state.steady[seg_start + row:seg_start + nxt] = steady
+        totals = np.cumsum(
+            first + steady * (ops_per_va - 1) + per_va_overhead
+        )
+        if nxt - row > 1:
+            # row ``row`` already cleared its poll; rows row+1.. poll at
+            # base + elapsed + totals[j-1]
+            tripped = np.flatnonzero(
+                base_clock + elapsed + totals[:-1] >= deadline
+            )
+            if tripped.size:
+                j = int(tripped[0])
+                done = row + 1 + j
+                break
+        elapsed += int(totals[-1])
+    return done, walk1_extra
+
+
+def _apply_accounting(core, plan, state, walk1_extra, done, seg_start,
+                      rounds, warm, op):
+    """Apply clock / perf / TLB effects for executed plan rows [0, done)."""
+    if not done:
+        return
+    ops_per_va = 2 * rounds if warm else rounds
+    cpu = core.cpu
+    per_va_overhead = rounds * (cpu.measurement_overhead + cpu.loop_overhead)
+    first = state.first[seg_start:seg_start + done]
+    steady = state.steady[seg_start:seg_start + done]
+    core.clock.advance(
+        int(first.sum()) + (ops_per_va - 1) * int(steady.sum())
+        + done * per_va_overhead
+    )
+
+    perf = core.perf
+    perf.increment(
+        "MEM_INST_RETIRED.ALL_STORES" if op == "store"
+        else "MEM_INST_RETIRED.ALL_LOADS",
+        done * ops_per_va,
+    )
+    walks2 = plan.walks2[:done]
+    second_walks = int(walks2.sum())
+    walks_total = done + second_walks * (ops_per_va - 1)
+    perf.increment("DTLB_LOAD_MISSES.WALK_COMPLETED", walks_total)
+    core.walker.completed_walks += walks_total
+    walk_base = plan.walk_base[:done]
+    # walk durations are pre-DVFS, exactly as the walker counts them
+    duration = int((walk_base + walk1_extra[:done]).sum())
+    if ops_per_va > 1 and second_walks:
+        duration += (ops_per_va - 1) * int(
+            (walk_base[walks2] + core.walker.timing.access_hot).sum()
+        )
+    perf.increment("DTLB_LOAD_MISSES.WALK_DURATION", duration)
+    assists = int(plan.has_assist[:done].sum())
+    if assists:
+        perf.increment("ASSISTS.ANY", assists * ops_per_va)
+
+    # -- TLB counters: first op fully misses; the second op either hits
+    # the row's own fill in L1 or fully misses again.  Skipped
+    # repetitions never touch TLB counters (the engine replays perf
+    # counters only), so the second-op effects land exactly once.
+    tlb = core.tlb
+    l1_arrays = list(tlb.l1.values())
+    for array in l1_arrays:
+        array.misses += done
+    tlb.stlb.misses += 3 * done
+    fill_mask = plan.fill_mask[:done]
+    fills = int(fill_mask.sum())
+    if ops_per_va > 1:
+        refused = done - fills
+        if refused:
+            for array in l1_arrays:
+                array.misses += refused
+            tlb.stlb.misses += 3 * refused
+        if fills:
+            for code, size in ((0, PAGE_SIZE), (1, PAGE_SIZE_2M),
+                               (2, PAGE_SIZE_1G)):
+                count = int((fill_mask & (plan.size_code[:done] == code))
+                            .sum())
+                if count:
+                    tlb.l1[size].hits += count
+
+    if fills:
+        # bucket replay: per (array, set), appending k entries to a
+        # bucket of b with pop(0)-on-full keeps the last ``ways`` of
+        # bucket+fills -- one shared TLBEntry per row, as TLB.fill makes
+        asid = tlb.active_asid
+        pending = {}
+        vpns = plan.vpn[:done]
+        pfns = plan.pfn[:done]
+        sizes = plan.page_size[:done]
+        for row in np.flatnonzero(fill_mask).tolist():
+            size = int(sizes[row])
+            vpn = int(vpns[row])
+            entry = TLBEntry(vpn, int(pfns[row]), plan.flag_objs[row],
+                             size, False, asid)
+            l1 = tlb.l1[size]
+            pending.setdefault(
+                (id(l1), vpn % l1.sets), (l1, vpn % l1.sets, [])
+            )[2].append(entry)
+            if size != PAGE_SIZE_1G:
+                stlb = tlb.stlb
+                pending.setdefault(
+                    (id(stlb), vpn % stlb.sets), (stlb, vpn % stlb.sets, [])
+                )[2].append(entry)
+        for array, set_index, entries in pending.values():
+            combined = array._sets[set_index] + entries
+            array._sets[set_index] = combined[-array.ways:]
+
+
+def _delegate_reason(core):
+    """Whole-sweep conditions the columnar model does not cover."""
+    if core.obs.enabled:
+        return "tracing"
+    walker_obs = core.walker.obs
+    if walker_obs is not None and walker_obs.enabled:
+        return "walker-tracing"
+    if core.avx.zero_mask_nop:
+        return "zero-mask-nop"
+    walker = core.walker
+    if not walker.use_psc:
+        return "no-psc"
+    if any(c.capacity < 1 for c in walker.psc._caches.values()):
+        return "psc-capacity"
+    if walker.line_cache._lines.capacity < 1:
+        return "line-capacity"
+    return None
+
+
+def columnar_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
+    """Columnar probe sweep: engine-equivalent, array-evolved.
+
+    Drop-in replacement for :func:`repro.cpu.engine.probe_sweep` with
+    identical semantics (measured matrix, clock, counters, MMU state,
+    chaos schedule); windows the compile step cannot prove safe run
+    through the engine's per-op row loop instead.
+    """
+    _engine.validate_sweep_args(op, reduce, rounds)
+    vas = list(vas)
+    n = len(vas)
+    if n == 0:
+        return np.empty((0,) if reduce else (0, rounds), dtype=np.float64)
+
+    reason = _delegate_reason(core)
+    if reason is None:
+        try:
+            vas_u64 = np.array(vas, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            reason = "unrepresentable-vas"
+    if reason is not None:
+        last_info.update(mode="delegated", reason=reason, columnar_rows=0,
+                         fallback_rows=n, windows=0)
+        return _engine.probe_sweep(core, vas, rounds, op=op, warm=warm,
+                                   reduce=reduce)
+
+    chaos = core.chaos if (core.chaos is not None and core.chaos.active) \
+        else None
+    state = _engine.SweepState(n, rounds, chaos)
+    columnar_rows = 0
+    fallback_rows = 0
+    windows = 0
+    start = 0
+    while start < n:
+        if chaos is not None:
+            core.chaos_poll()
+        end = min(n, start + WINDOW_ROWS)
+        plan = _compile(core, vas_u64[start:end], op)
+        if plan is None:
+            _engine.sweep_rows(core, vas, rounds, op, warm, state, start, end)
+            fallback_rows += end - start
+            start = end
+            continue
+        windows += 1
+        deadline = chaos.next_deadline() if chaos is not None else None
+        done, walk1_extra = _run_window(core, plan, state, rounds, warm,
+                                        start, deadline)
+        _apply_accounting(core, plan, state, walk1_extra, done, start,
+                          rounds, warm, op)
+        if chaos is not None:
+            state.spike_col[start] = core.pending_spike_cycles
+            core.pending_spike_cycles = 0
+            state.resolution[start:start + done] = core.timer_resolution
+            for row in range(start, start + done):
+                state.noise[row] = core.noise.sample_array(
+                    core.rng, (rounds,)
+                ).astype(np.int64)
+        columnar_rows += done
+        start += done
+    last_info.update(mode="columnar", reason=None,
+                     columnar_rows=columnar_rows,
+                     fallback_rows=fallback_rows, windows=windows)
+    return _engine.finalize_sweep(core, state, warm, reduce)

@@ -147,19 +147,42 @@ class Core:
     # -- attacker-visible measurements ---------------------------------------
 
     def probe_sweep(self, vas, rounds=None, op="load", warm=True,
-                    reduce="mean"):
+                    reduce="mean", engine=None):
         """Batched sweep measurement (see :mod:`repro.cpu.engine`).
 
         Equivalent in simulated time, counter effects, and classification
         outcomes to looping the scalar double/single probes; orders of
         magnitude fewer Python-level ops.  ``rounds=None`` uses the CPU
         model's default round count.
+
+        ``engine`` selects the sweep executor: ``"columnar"`` (the
+        struct-of-arrays core, :mod:`repro.cpu.columnar`), ``"batched"``
+        (the two-reference-ops row loop), or None/``"auto"`` -- columnar
+        for full-range scans (>= ``COLUMNAR_MIN_VAS`` addresses, tracing
+        off), batched otherwise.  All engines are bit-identical on
+        measured values, clock, counters and MMU state.
         """
-        from repro.cpu.engine import probe_sweep
+        from repro.cpu import columnar as _columnar
+        from repro.cpu import engine as _engine
 
         if rounds is None:
             rounds = self.cpu.rounds_default
-        return probe_sweep(self, vas, rounds, op=op, warm=warm, reduce=reduce)
+        vas = list(vas)
+        if engine is None or engine == "auto":
+            engine = "columnar" if (
+                not self.obs.enabled
+                and len(vas) >= _columnar.COLUMNAR_MIN_VAS
+            ) else "batched"
+        if engine == "columnar":
+            return _columnar.columnar_sweep(self, vas, rounds, op=op,
+                                            warm=warm, reduce=reduce)
+        if engine != "batched":
+            raise ConfigError(
+                "unknown sweep engine {!r} (use 'columnar', 'batched' or "
+                "'auto')".format(engine)
+            )
+        return _engine.probe_sweep(self, vas, rounds, op=op, warm=warm,
+                                   reduce=reduce)
 
     def timed_masked_load(self, va, mask=ZERO_MASK, element_size=4):
         """RDTSC / op / RDTSCP measurement of one masked load.

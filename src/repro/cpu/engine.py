@@ -30,6 +30,14 @@ closed form:
 
 The per-op simulator remains the reference; equivalence tests cross-
 validate recovered bases / module lists / regions between both paths.
+
+The row loop is factored into :func:`sweep_rows` (execute rows ``lo..hi``
+of a sweep through the per-op reference path) and :func:`finalize_sweep`
+(the vectorized noise/coarsening/reduce tail) so the columnar engine
+(:mod:`repro.cpu.columnar`) can reuse both: it executes eligible row
+ranges as array passes and delegates the rest to ``sweep_rows``, then
+both paths share one finalize -- which is what keeps the two engines
+bit-identical on the measured matrix.
 """
 
 import numpy as np
@@ -54,6 +62,147 @@ def _page_class(translation):
     )
 
 
+class SweepState:
+    """Per-row observation state accumulated while a sweep executes.
+
+    ``first``/``steady`` hold each VA's first-access and steady-state true
+    cycle counts.  Under an active chaos runtime, noise / spike / timer
+    resolution become per-row state captured at each VA's poll boundary
+    (``noise``, ``spike_col``, ``resolution``); on a quiet machine they
+    stay None and :func:`finalize_sweep` draws one vectorized noise block
+    instead.  Both the row loop (:func:`sweep_rows`) and the columnar
+    engine write into the same state object, so a sweep can mix
+    vectorized and per-op row ranges without changing its output.
+    """
+
+    __slots__ = ("n", "rounds", "chaos", "first", "steady", "noise",
+                 "spike_col", "resolution")
+
+    def __init__(self, n, rounds, chaos):
+        self.n = n
+        self.rounds = rounds
+        self.chaos = chaos
+        self.first = np.empty(n, dtype=np.int64)
+        self.steady = np.empty(n, dtype=np.int64)
+        if chaos is not None:
+            self.noise = np.empty((n, rounds), dtype=np.int64)
+            self.spike_col = np.zeros(n, dtype=np.int64)
+            self.resolution = np.ones(n, dtype=np.int64)
+        else:
+            self.noise = None
+            self.spike_col = None
+            self.resolution = None
+
+
+def sweep_rows(core, vas, rounds, op, warm, state, lo, hi):
+    """Execute sweep rows ``vas[lo:hi]`` through the per-op reference path.
+
+    This is the engine's row loop: at most two reference ops per VA plus
+    the closed-form replay of the skipped repetitions.  Results land in
+    ``state.first``/``state.steady`` (and the chaos per-row arrays) at
+    rows ``lo..hi``; the clock, performance counters, walker and TLB are
+    advanced exactly as the per-op path would.
+    """
+    obs = core.obs
+    execute = core.masked_load if op == "load" else core.masked_store
+    cpu = core.cpu
+    ops_per_va = 2 * rounds if warm else rounds
+    # per-measurement RDTSC + loop overhead, charged per VA inside the
+    # loop (not at sweep end) so the mid-sweep clock agrees with the
+    # per-op path at every chaos poll boundary
+    per_va_overhead = rounds * (cpu.measurement_overhead
+                                + cpu.loop_overhead)
+    chaos = state.chaos
+    first = state.first
+    steady = state.steady
+
+    for i in range(lo, hi):
+        va = vas[i]
+        if chaos is not None:
+            core.chaos_poll()
+            state.spike_col[i] = core.pending_spike_cycles
+            core.pending_spike_cycles = 0
+            state.resolution[i] = core.timer_resolution
+            state.noise[i] = core.noise.sample_array(
+                core.rng, (rounds,)
+            ).astype(np.int64)
+        page_table = core.address_space.page_table
+        translation = page_table.lookup(va).translation
+        hint = translation.page_size if translation is not None else None
+
+        result = execute(va, page_size_hint=hint)
+        first[i] = result.cycles
+        if ops_per_va == 1:
+            steady[i] = result.cycles
+        else:
+            skipped = ops_per_va - 2
+            if not skipped:
+                steady[i] = execute(va, page_size_hint=hint).cycles
+            else:
+                snap = core.perf.snapshot()
+                walks_before = core.walker.completed_walks
+                result = execute(va, page_size_hint=hint)
+                steady[i] = result.cycles
+
+                delta = core.perf.delta_since(snap)
+                for event, count in delta.items():
+                    if count:
+                        core.perf.increment(event, count * skipped)
+                walk_delta = core.walker.completed_walks - walks_before
+                if walk_delta:
+                    core.walker.completed_walks += walk_delta * skipped
+                core.clock.advance(int(result.cycles) * skipped)
+
+        # each of this VA's ``rounds`` timed measurements charges the
+        # RDTSC + loop overhead the per-op _observe() path would have
+        core.clock.advance(per_va_overhead)
+        if obs.enabled:
+            obs.metrics.observe(
+                "engine.probe_cycles." + _page_class(translation),
+                int(steady[i]),
+            )
+
+
+def finalize_sweep(core, state, warm, reduce):
+    """Turn accumulated sweep state into the measured/reduced matrix.
+
+    Quiet sweeps draw their noise here in one vectorized call; chaos
+    sweeps already carry per-row noise/spike/resolution in ``state``.
+    """
+    rounds = state.rounds
+    timed = np.repeat(state.steady[:, None], rounds, axis=1)
+    if not warm:
+        timed[:, 0] = state.first
+    if state.chaos is None:
+        noise = core.noise.sample_array(
+            core.rng, (state.n, rounds)
+        ).astype(np.int64)
+    else:
+        noise = state.noise
+    measured = timed + core.cpu.measurement_overhead + noise
+    if state.chaos is not None:
+        measured[:, 0] += state.spike_col
+        measured -= measured % state.resolution[:, None]
+    elif core.timer_resolution > 1:
+        measured -= measured % core.timer_resolution
+
+    if reduce == "mean":
+        return measured.mean(axis=1)
+    if reduce == "min":
+        return measured.min(axis=1)
+    return measured
+
+
+def validate_sweep_args(op, reduce, rounds):
+    """Shared argument validation for both sweep engines."""
+    if op not in ("load", "store"):
+        raise ValueError("op must be 'load' or 'store', not {!r}".format(op))
+    if reduce not in ("mean", "min", None):
+        raise ValueError("reduce must be 'mean', 'min' or None")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+
 def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
     """Measure every address in ``vas`` with ``rounds`` probes each.
 
@@ -70,12 +219,7 @@ def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
     Only zero-mask probes are supported -- active elements could fault
     mid-sweep, which the closed-form replay cannot express.
     """
-    if op not in ("load", "store"):
-        raise ValueError("op must be 'load' or 'store', not {!r}".format(op))
-    if reduce not in ("mean", "min", None):
-        raise ValueError("reduce must be 'mean', 'min' or None")
-    if rounds < 1:
-        raise ValueError("rounds must be >= 1")
+    validate_sweep_args(op, reduce, rounds)
     vas = list(vas)
     n = len(vas)
     if n == 0:
@@ -86,88 +230,8 @@ def probe_sweep(core, vas, rounds, op="load", warm=True, reduce="mean"):
         obs.metrics.inc("engine.sweeps")
         obs.metrics.inc("engine.probes", n * rounds)
     with obs.span("probe-sweep", vas=n, rounds=rounds, op=op, warm=warm):
-        execute = core.masked_load if op == "load" else core.masked_store
-        cpu = core.cpu
-        ops_per_va = 2 * rounds if warm else rounds
-        # per-measurement RDTSC + loop overhead, charged per VA inside the
-        # loop (not at sweep end) so the mid-sweep clock agrees with the
-        # per-op path at every chaos poll boundary
-        per_va_overhead = rounds * (cpu.measurement_overhead
-                                    + cpu.loop_overhead)
-
         chaos = core.chaos if (core.chaos is not None and core.chaos.active) \
             else None
-        if chaos is not None:
-            # disturbances can change sigma / timer resolution / pending
-            # spikes mid-sweep, so noise and coarsening become per-row state
-            # captured at each VA's poll boundary
-            noise = np.empty((n, rounds), dtype=np.int64)
-            spike_col = np.zeros(n, dtype=np.int64)
-            resolution = np.ones(n, dtype=np.int64)
-
-        first = np.empty(n, dtype=np.int64)
-        steady = np.empty(n, dtype=np.int64)
-        for i, va in enumerate(vas):
-            if chaos is not None:
-                core.chaos_poll()
-                spike_col[i] = core.pending_spike_cycles
-                core.pending_spike_cycles = 0
-                resolution[i] = core.timer_resolution
-                noise[i] = core.noise.sample_array(
-                    core.rng, (rounds,)
-                ).astype(np.int64)
-            page_table = core.address_space.page_table
-            translation = page_table.lookup(va).translation
-            hint = translation.page_size if translation is not None else None
-
-            result = execute(va, page_size_hint=hint)
-            first[i] = result.cycles
-            if ops_per_va == 1:
-                steady[i] = result.cycles
-            else:
-                skipped = ops_per_va - 2
-                if not skipped:
-                    steady[i] = execute(va, page_size_hint=hint).cycles
-                else:
-                    snap = core.perf.snapshot()
-                    walks_before = core.walker.completed_walks
-                    result = execute(va, page_size_hint=hint)
-                    steady[i] = result.cycles
-
-                    delta = core.perf.delta_since(snap)
-                    for event, count in delta.items():
-                        if count:
-                            core.perf.increment(event, count * skipped)
-                    walk_delta = core.walker.completed_walks - walks_before
-                    if walk_delta:
-                        core.walker.completed_walks += walk_delta * skipped
-                    core.clock.advance(int(result.cycles) * skipped)
-
-            # each of this VA's ``rounds`` timed measurements charges the
-            # RDTSC + loop overhead the per-op _observe() path would have
-            core.clock.advance(per_va_overhead)
-            if obs.enabled:
-                obs.metrics.observe(
-                    "engine.probe_cycles." + _page_class(translation),
-                    int(steady[i]),
-                )
-
-        timed = np.repeat(steady[:, None], rounds, axis=1)
-        if not warm:
-            timed[:, 0] = first
-        if chaos is None:
-            noise = core.noise.sample_array(
-                core.rng, (n, rounds)
-            ).astype(np.int64)
-        measured = timed + cpu.measurement_overhead + noise
-        if chaos is not None:
-            measured[:, 0] += spike_col
-            measured -= measured % resolution[:, None]
-        elif core.timer_resolution > 1:
-            measured -= measured % core.timer_resolution
-
-        if reduce == "mean":
-            return measured.mean(axis=1)
-        if reduce == "min":
-            return measured.min(axis=1)
-        return measured
+        state = SweepState(n, rounds, chaos)
+        sweep_rows(core, vas, rounds, op, warm, state, 0, n)
+        return finalize_sweep(core, state, warm, reduce)

@@ -14,6 +14,25 @@ Two properties the paper leans on are modelled faithfully:
    least the PT in memory, making 4 KiB mappings slower than huge pages.
 2. Only *present* entries are cached, so probing unmapped addresses never
    populates the PSC.
+
+State-ownership / invariants relied on by the columnar engine
+(``repro.cpu.columnar``):
+
+* each level's cache is keyed by the *prefix* of the VA's radix indices
+  -- ``tuple(indices[:level+1])`` -- and stores the child ``node_id``.
+  Two VAs share a cached entry exactly when their index prefixes match,
+  which is why the engine groups rows by their node chain;
+* because only non-terminal present entries are ever filled, and
+  directory entries in this model never later become terminal or
+  absent (mutations replace whole subtrees), a cached entry can never
+  go *semantically* stale -- ``deepest_hit`` on an interior row of a
+  uniform run returns the same level as its run-first row, so skipping
+  the call is side-effect-free apart from LRU refresh, and an LRU
+  refresh of an already-MRU key is a no-op;
+* ``_LRUCache`` order is the only replacement state (OrderedDict,
+  front = eviction victim); capacities below 1 would make every fill
+  immediately evict, which the columnar engine treats as a delegation
+  reason rather than modelling.
 """
 
 from collections import OrderedDict
@@ -113,6 +132,13 @@ class PagingLineCache:
     entries in the data cache costs tens of cycles less per level than one
     that misses to DRAM.  Entries are 8 bytes, so one 64-byte line covers 8
     adjacent slots of a structure.
+
+    The line key is ``(node_id, index >> 3)``: sequential VAs walking the
+    same structure share a line for every 8 consecutive slots.  The
+    columnar engine's *group* boundaries are exactly the rows where this
+    key changes at the terminal level -- interior rows of a group access
+    a line that the group-first row just made hot *and* MRU, so their
+    ``access`` calls are closed-form hot hits with no LRU movement.
     """
 
     def __init__(self, capacity_lines=1024):

@@ -9,6 +9,24 @@ Only successful (present) translations are cached -- a non-present page
 never creates a TLB entry, which is precisely why the paper's double-probe
 trick (P2) works: the second access to a mapped page is a TLB hit while the
 second access to an unmapped page walks again.
+
+State-ownership / invariants (the columnar engine's SoA compiler,
+``repro.cpu.columnar``, derives its array layout from these; keep them
+accurate when changing this file):
+
+* each :class:`TLB` array owns exactly ``sets`` buckets; an entry for
+  ``vpn`` can only ever live in bucket ``vpn % sets`` (linear indexing,
+  no hashing), so a whole array is describable as per-set lists;
+* replacement state is *positional*: a bucket is a plain list ordered
+  LRU-first / MRU-last.  ``lookup`` refreshes by move-to-back,
+  ``fill`` evicts ``bucket[0]``.  There is no other metadata -- the
+  list order IS the replacement state, which is what lets the columnar
+  engine replay a window of fills as ``(bucket + fills)[-ways:]``;
+* re-filling an already-cached ``(vpn, page_size)`` replaces in place
+  and refreshes, and notably matches *regardless of asid* (hardware
+  replaces the stale tagged entry rather than duplicating it);
+* a lookup that hits refreshes only the hit array; sTLB hits are
+  additionally promoted into L1 by :meth:`TwoLevelTLB.lookup`.
 """
 
 from repro.mmu.address import PAGE_SIZE, PAGE_SIZE_1G, PAGE_SIZE_2M
@@ -45,6 +63,13 @@ class TLB:
     ``entries`` / ``ways`` define the geometry; the set index is taken from
     the low bits of the VPN, the standard linear-indexing scheme that makes
     software eviction sets possible (paper's TLB attack uses one).
+
+    Owned state: ``_sets`` (one LRU-ordered list of :class:`TLBEntry`
+    per set, front = LRU victim, back = MRU) and the cumulative
+    ``hits`` / ``misses`` counters.  Nothing else persists between
+    calls; two arrays with equal ``_sets`` contents and counters are
+    behaviourally identical, which is the equality the columnar
+    engine's bucket-replay relies on.
     """
 
     def __init__(self, entries, ways, name="tlb"):
@@ -78,7 +103,15 @@ class TLB:
         return None
 
     def fill(self, entry):
-        """Insert ``entry``, evicting the LRU way if the set is full."""
+        """Insert ``entry``, evicting the LRU way if the set is full.
+
+        The in-place-replace branch matches on ``(vpn, page_size)``
+        only -- deliberately ignoring ``asid`` -- so a refill under a
+        new tag displaces the stale one.  The columnar engine's window
+        eligibility check (condition B) quotes exactly this rule: a
+        candidate fill whose key matches any cached key of *any* asid
+        would mutate a bucket mid-window and forces per-row fallback.
+        """
         bucket = self._sets[self._set_index(entry.vpn)]
         for i, existing in enumerate(bucket):
             if existing.vpn == entry.vpn and existing.page_size == entry.page_size:

@@ -12,6 +12,21 @@ channel:
   entry is hot (data cache) or cold (DRAM) -- the difference between the
   147-cycle warm and 381-cycle cold kernel accesses in the paper's P4
   experiment.
+
+Invariants the columnar engine (``repro.cpu.columnar``) compiles against:
+
+* a walk's cycle cost is a pure function of ``(terminal level, start
+  level, per-level line hotness)``:
+  ``base + level_step * (terminal+1) + sum(access_hot|access_cold)``.
+  No hidden state enters the formula, so once the engine knows which
+  lines a row touches and whether they are hot, the cost is closed-form;
+* the walker owns ``completed_walks`` and is the single incrementer of
+  the two ``DTLB_LOAD_MISSES.*`` counters; ``WALK_DURATION`` is charged
+  in *pre-DVFS* cycles (the clock's scale is applied later by the
+  core), which the columnar accounting mirrors;
+* PSC fills happen only for directory levels ``start..terminal-1`` of
+  a present walk, after the line accesses -- the fill order within one
+  walk is level-ascending, which bucket replay depends on.
 """
 
 from repro.mmu.address import split_indices
@@ -81,6 +96,12 @@ class PageTableWalker:
     never drift from :attr:`completed_walks` no matter which execution
     path (AVX unit, kernel touches, prefetch/TSX baselines) triggered the
     walk.
+
+    Owned state: ``psc`` and ``line_cache`` (the only mutable walk
+    caches), the monotonic ``completed_walks`` counter, and the ``obs``
+    binding.  ``timing`` and ``use_psc`` are configuration, fixed for
+    the machine's lifetime -- the columnar engine snapshots them once
+    per sweep and treats ``use_psc=False`` as a delegation reason.
     """
 
     def __init__(self, timing=None, psc=None, line_cache=None, use_psc=True,

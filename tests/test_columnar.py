@@ -1,0 +1,394 @@
+"""The columnar engine, cross-validated against batched and per-op paths.
+
+The contract under test (see :mod:`repro.cpu.columnar`):
+
+* **bit-exactness vs batched** -- the columnar path produces the *same
+  bytes*: measured matrix, simulated clock, performance counters, TLB
+  hit/miss counters *and per-set bucket order*, walker state, and chaos
+  schedule digest all equal the batched engine's, for every target
+  shape (2 MiB kernel slots, 4 KiB module slots, mapped userspace,
+  unmapped ranges), op, reduce mode, CPU model, and chaos profile;
+* **outcome-equality vs per-op** -- the per-op simulator remains the
+  oracle: classification outcomes, clock, perf counters and TLB stats
+  agree (noise values differ only because the vectorized RNG consumes
+  the stream in a different order);
+* **graceful fallback** -- windows the compiler cannot prove safe
+  (duplicate pages, already-cached translations) run through the per-op
+  row loop *inside* the same sweep and stay bit-exact; whole-sweep
+  delegation triggers for tracing and zero-mask-NOP hardware.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.kaslr_break import break_kaslr, break_kaslr_intel
+from repro.attacks.module_detect import detect_modules
+from repro.attacks.primitives import double_probe_load
+from repro.attacks.supervisor import supervise
+from repro.attacks.userspace import find_user_code_base
+from repro.cpu import columnar
+from repro.errors import AddressError
+from repro.machine import Machine
+from repro.os.linux import layout
+
+CPUS = ["i5-12400F", "i7-1065G7", "ryzen5-5600X"]
+
+
+def _tlb_image(tlb):
+    """Full TLB replacement state: per-set bucket order, entry fields."""
+    image = []
+    for name, array in list(tlb.l1.items()) + [("stlb", tlb.stlb)]:
+        buckets = [
+            [(e.vpn, e.pfn, int(e.flags), e.page_size, e.is_global, e.asid)
+             for e in bucket]
+            for bucket in array._sets
+        ]
+        image.append((str(name), array.hits, array.misses, buckets))
+    return image
+
+
+def _machine_state(machine):
+    core = machine.core
+    return (
+        core.clock.cycles,
+        core.perf.snapshot(),
+        core.walker.completed_walks,
+        core.tlb.stats(),
+        _tlb_image(core.tlb),
+    )
+
+
+# -- target shapes ------------------------------------------------------------
+
+def _base_vas(machine):
+    """Fig. 4: the 512 2 MiB-aligned KASLR slots."""
+    return [layout.kernel_base_of_slot(s)
+            for s in range(layout.KERNEL_TEXT_SLOTS)]
+
+
+def _module_vas(machine):
+    """Table I: a 4 KiB-grained module-region scan (subset for speed)."""
+    return [layout.MODULE_START + i * 4096 for i in range(2048)]
+
+
+def _user_vas(machine):
+    """Userspace two-pass scan shape: mapped pages + unmapped tail."""
+    base = machine.process.mmap(256)
+    return ([base + i * 4096 for i in range(256)]
+            + [base + (256 + 64 + i) * 4096 for i in range(256)])
+
+
+TARGETS = {
+    "base": (_base_vas, dict(rounds=4, op="load", warm=True, reduce="mean")),
+    "modules": (_module_vas,
+                dict(rounds=3, op="load", warm=False, reduce="min")),
+    "userspace": (_user_vas,
+                  dict(rounds=2, op="store", warm=False, reduce="min")),
+}
+
+
+def _run_pair(target, cpu, chaos=None, seed=42):
+    """Same sweep on twin machines: batched vs columnar."""
+    make_vas, kwargs = TARGETS[target]
+    batched = Machine.linux(cpu=cpu, seed=seed, chaos=chaos)
+    col = Machine.linux(cpu=cpu, seed=seed, chaos=chaos)
+    vas = make_vas(batched)
+    assert make_vas(col) == vas
+    rb = batched.core.probe_sweep(vas, engine="batched", **kwargs)
+    rc = col.core.probe_sweep(vas, engine="columnar", **kwargs)
+    return batched, col, rb, rc
+
+
+class TestBitExactVsBatched:
+    """Columnar output and machine state equal the batched engine's."""
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    @pytest.mark.parametrize("target", sorted(TARGETS))
+    def test_quiet(self, cpu, target):
+        batched, col, rb, rc = _run_pair(target, cpu)
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+        assert columnar.last_info["mode"] == "columnar"
+        assert columnar.last_info["fallback_rows"] == 0
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    @pytest.mark.parametrize("target", sorted(TARGETS))
+    def test_under_chaos(self, cpu, target):
+        batched, col, rb, rc = _run_pair(target, cpu, chaos="default")
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+        assert (batched.core.chaos.schedule_digest()
+                == col.core.chaos.schedule_digest())
+
+    def test_hostile_chaos_segments_and_matches(self):
+        batched, col, rb, rc = _run_pair("modules", "i5-12400F",
+                                         chaos="hostile")
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+        assert (batched.core.chaos.log_as_dicts()
+                == col.core.chaos.log_as_dicts())
+        # hostile profiles force mid-sweep re-segmentation
+        assert columnar.last_info["windows"] > 1
+
+    def test_raw_matrix_reduce_none(self):
+        batched = Machine.linux(seed=9)
+        col = Machine.linux(seed=9)
+        vas = _base_vas(batched)[:64]
+        rb = batched.core.probe_sweep(vas, rounds=5, warm=False, reduce=None,
+                                      engine="batched")
+        rc = col.core.probe_sweep(vas, rounds=5, warm=False, reduce=None,
+                                  engine="columnar")
+        assert rb.shape == (64, 5)
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+
+    def test_mixed_page_sizes_one_sweep(self):
+        """2 MiB kernel slots and 4 KiB module slots in a single sweep."""
+        batched = Machine.linux(seed=5)
+        col = Machine.linux(seed=5)
+        vas = _base_vas(batched)[:128] + _module_vas(batched)[:512]
+        rb = batched.core.probe_sweep(vas, rounds=4, engine="batched")
+        rc = col.core.probe_sweep(vas, rounds=4, engine="columnar")
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+
+    def test_back_to_back_sweeps_second_is_warm(self):
+        """A repeated sweep sees its own fills: windows must fall back
+        (condition A) and still match the batched engine exactly."""
+        batched = Machine.linux(seed=11)
+        col = Machine.linux(seed=11)
+        base = batched.process.mmap(64)
+        assert col.process.mmap(64) == base
+        vas = [base + i * 4096 for i in range(64)]
+        for machine, engine in ((batched, "batched"), (col, "columnar")):
+            machine.core.probe_sweep(vas, rounds=2, engine=engine)
+        rb = batched.core.probe_sweep(vas, rounds=2, engine="batched")
+        rc = col.core.probe_sweep(vas, rounds=2, engine="columnar")
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+        assert columnar.last_info["fallback_rows"] > 0
+
+    def test_duplicate_pages_fall_back_bit_exact(self):
+        batched = Machine.linux(seed=13)
+        col = Machine.linux(seed=13)
+        vas = _module_vas(batched)[:128] * 2
+        rb = batched.core.probe_sweep(vas, rounds=2, engine="batched")
+        rc = col.core.probe_sweep(vas, rounds=2, engine="columnar")
+        assert np.array_equal(rb, rc)
+        assert _machine_state(batched) == _machine_state(col)
+
+    def test_non_canonical_raises_like_batched(self):
+        bad = 0x0000_8000_0000_0000  # first non-canonical address
+        vas = [layout.MODULE_START + i * 4096 for i in range(40)] + [bad]
+        batched = Machine.linux(seed=3)
+        col = Machine.linux(seed=3)
+        with pytest.raises(AddressError):
+            batched.core.probe_sweep(vas, rounds=2, engine="batched")
+        with pytest.raises(AddressError):
+            col.core.probe_sweep(vas, rounds=2, engine="columnar")
+
+
+class TestOutcomeEqualityVsPerOp:
+    """The per-op simulator stays the oracle for every engine."""
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    def test_double_probe_counters_equal(self, cpu):
+        perop = Machine.linux(cpu=cpu, seed=21)
+        col = Machine.linux(cpu=cpu, seed=21)
+        vas = _base_vas(perop)[:96]
+        for va in vas:
+            double_probe_load(perop.core, va, rounds=4)
+        col.core.probe_sweep(vas, rounds=4, engine="columnar")
+        assert perop.core.clock.cycles == col.core.clock.cycles
+        assert perop.core.perf.snapshot() == col.core.perf.snapshot()
+        assert (perop.core.walker.completed_walks
+                == col.core.walker.completed_walks)
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    def test_store_scan_outcomes_agree(self, cpu):
+        """Mapped/unmapped classification agrees with the per-op arm.
+
+        The store pass separates cleanly on every vendor (a store fault
+        assist vs none), so each arm's mode midpoint classifies its own
+        timings; the resulting mapped-page verdicts must be identical
+        even though the two arms draw different noise values.
+        """
+        perop = Machine.linux(cpu=cpu, seed=21)
+        col = Machine.linux(cpu=cpu, seed=21)
+        vas = _user_vas(perop)
+        assert _user_vas(col) == vas
+        reference = [
+            min(perop.core.timed_masked_store(va) for _ in range(2))
+            for va in vas
+        ]
+        timings = col.core.probe_sweep(vas, rounds=2, op="store",
+                                       warm=False, reduce="min",
+                                       engine="columnar")
+        assert perop.core.clock.cycles == col.core.clock.cycles
+        assert perop.core.perf.snapshot() == col.core.perf.snapshot()
+        cut_ref = (min(reference) + max(reference)) / 2
+        cut_col = (min(timings) + max(timings)) / 2
+        verdicts_ref = [t <= cut_ref for t in reference]
+        verdicts_col = [t <= cut_col for t in timings]
+        assert verdicts_ref == verdicts_col
+        # the two populations separate cleanly (the faster side varies
+        # by CPU model: walk depth vs assist cost dominates)
+        assert len(set(verdicts_ref[:256])) == 1
+        assert len(set(verdicts_ref[256:])) == 1
+        assert verdicts_ref[0] != verdicts_ref[256]
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    def test_chaos_schedule_mode_agnostic(self, cpu):
+        perop = Machine.linux(cpu=cpu, seed=23, chaos="default")
+        col = Machine.linux(cpu=cpu, seed=23, chaos="default")
+        vas = _module_vas(perop)[:512]
+        for va in vas:
+            perop.core.chaos_poll()
+            min(perop.core.timed_masked_load(va) for _ in range(2))
+        col.core.probe_sweep(vas, rounds=2, warm=False, reduce="min",
+                             engine="columnar")
+        assert (perop.core.chaos.schedule_digest()
+                == col.core.chaos.schedule_digest())
+        assert perop.core.clock.cycles == col.core.clock.cycles
+
+
+class TestTLBOccupancyProperty:
+    """Columnar TLB set/way state == per-op TLB state, randomized."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.data())
+    def test_occupancy_matches_per_op(self, data):
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        perop = Machine.linux(seed=seed)
+        col = Machine.linux(seed=seed)
+        pool = (
+            [layout.MODULE_START + i * 4096 for i in range(512)]
+            + _base_vas(perop)[:128]
+        )
+        base = perop.process.mmap(128)
+        assert col.process.mmap(128) == base
+        pool += [base + i * 4096 for i in range(128)]
+        picks = data.draw(st.lists(
+            st.integers(0, len(pool) - 1),
+            min_size=32, max_size=200, unique=True,
+        ))
+        vas = [pool[i] for i in picks]
+        # rounds=1, warm=False: engines execute exactly one op per VA,
+        # so TLB counters AND buckets must equal the per-op loop's
+        for va in vas:
+            perop.core.timed_masked_load(va)
+        col.core.probe_sweep(vas, rounds=1, warm=False, reduce="min",
+                             engine="columnar")
+        assert perop.core.tlb.stats() == col.core.tlb.stats()
+        assert _tlb_image(perop.core.tlb) == _tlb_image(col.core.tlb)
+        assert perop.core.tlb.occupancy() == col.core.tlb.occupancy()
+        assert perop.core.clock.cycles == col.core.clock.cycles
+        assert perop.core.perf.snapshot() == col.core.perf.snapshot()
+
+
+class TestSelectionAndDelegation:
+    """The auto selection and the whole-sweep delegation guards."""
+
+    def test_auto_picks_columnar_for_full_range(self):
+        machine = Machine.linux(seed=1)
+        machine.core.probe_sweep(_module_vas(machine)[:64], rounds=2)
+        assert columnar.last_info["mode"] == "columnar"
+
+    def test_auto_picks_batched_below_min(self):
+        machine = Machine.linux(seed=1)
+        columnar.last_info.update(mode=None)
+        machine.core.probe_sweep(
+            _module_vas(machine)[:columnar.COLUMNAR_MIN_VAS - 1], rounds=2
+        )
+        assert columnar.last_info["mode"] is None  # columnar never entered
+
+    def test_unknown_engine_rejected(self):
+        machine = Machine.linux(seed=1)
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            machine.core.probe_sweep([layout.MODULE_START], engine="simd")
+
+    def test_zero_mask_nop_delegates(self):
+        machine = Machine.linux(seed=1)
+        machine.core.avx.zero_mask_nop = True
+        twin = Machine.linux(seed=1)
+        twin.core.avx.zero_mask_nop = True
+        vas = _module_vas(machine)[:64]
+        rb = twin.core.probe_sweep(vas, rounds=2, engine="batched")
+        rc = machine.core.probe_sweep(vas, rounds=2, engine="columnar")
+        assert columnar.last_info["mode"] == "delegated"
+        assert columnar.last_info["reason"] == "zero-mask-nop"
+        assert np.array_equal(rb, rc)
+
+    def test_tracing_delegates(self, tmp_path):
+        from repro.obs.trace import Tracer
+        machine = Machine.linux(seed=1)
+        Tracer(str(tmp_path / "t.jsonl")).attach(machine)
+        machine.core.probe_sweep(_module_vas(machine)[:64], rounds=2,
+                                 engine="columnar")
+        assert columnar.last_info["mode"] == "delegated"
+        assert columnar.last_info["reason"] == "tracing"
+
+
+class TestAttackLevelEquivalence:
+    """Whole attacks agree across all three execution paths."""
+
+    @pytest.mark.parametrize("cpu", CPUS)
+    def test_kaslr_three_way(self, cpu):
+        results = {}
+        for arm, kwargs in (
+            ("per-op", dict(batched=False)),
+            ("batched", dict(batched=True, engine="batched")),
+            ("columnar", dict(batched=True, engine="columnar")),
+        ):
+            machine = Machine.linux(cpu=cpu, seed=77)
+            results[arm] = (break_kaslr(machine, **kwargs).base,
+                            machine.core.clock.cycles)
+        assert (results["per-op"][0] == results["batched"][0]
+                == results["columnar"][0])
+        # batched and columnar are bit-exact, per-op matches on time too
+        assert results["batched"] == results["columnar"]
+        assert results["per-op"][1] == results["columnar"][1]
+
+    def test_modules_three_way(self):
+        recovered = {}
+        for arm, kwargs in (
+            ("per-op", dict(batched=False)),
+            ("batched", dict(batched=True, engine="batched")),
+            ("columnar", dict(batched=True, engine="columnar")),
+        ):
+            machine = Machine.linux(seed=31)
+            result = detect_modules(machine, max_slots=2048, **kwargs)
+            recovered[arm] = ([(r.start, r.pages) for r in result.regions],
+                              machine.core.clock.cycles)
+        assert (recovered["per-op"] == recovered["batched"]
+                == recovered["columnar"])
+
+    def test_userspace_three_way(self):
+        found = {}
+        for arm, kwargs in (
+            ("per-op", dict(batched=False)),
+            ("batched", dict(batched=True, engine="batched")),
+            ("columnar", dict(batched=True, engine="columnar")),
+        ):
+            machine = Machine.linux(seed=19)
+            result = find_user_code_base(machine, **kwargs)
+            found[arm] = (result.base, machine.core.clock.cycles)
+        assert found["per-op"] == found["batched"] == found["columnar"]
+
+    def test_supervised_reanchoring_columnar_vs_batched(self, monkeypatch):
+        """The supervisor's chunked, re-anchored scan is engine-agnostic:
+        forcing every chunk onto the batched row loop (by raising the
+        columnar floor) changes nothing about the verdict or the clock."""
+        def run(min_vas):
+            monkeypatch.setattr(columnar, "COLUMNAR_MIN_VAS", min_vas)
+            machine = Machine.linux(seed=101, chaos="default")
+            verdict = supervise(machine, "kaslr", batched=True)
+            return (verdict.status, verdict.value, verdict.confidence,
+                    machine.core.clock.cycles,
+                    machine.core.chaos.schedule_digest())
+        columnar_run = run(32)
+        batched_run = run(10**9)
+        assert columnar_run == batched_run

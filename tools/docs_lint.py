@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs lint: the module map must be complete, intra-doc links alive.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 * **module-map completeness** -- every module file under ``src/repro/``
   (``__init__.py`` / ``__main__.py`` excepted; they re-export and
@@ -12,10 +12,16 @@ Two checks, both cheap enough for every CI run:
   ``README.md`` and ``docs/*.md`` must resolve to an existing file
   (anchors are stripped; external ``http(s)``/``mailto`` links are not
   checked).
+* **benchmark-contract coverage** -- every top-level section of every
+  ``BENCH_*.json`` at the repo root must be referenced (by name) in
+  ``docs/performance.md``, and the file itself must be named there.
+  Adding a benchmark section without documenting its speed contract
+  fails the build.
 
 Exit status 0 when clean, 1 with one line per violation otherwise.
 """
 
+import json
 import pathlib
 import re
 import sys
@@ -23,6 +29,7 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 ARCHITECTURE = REPO / "docs" / "architecture.md"
+PERFORMANCE = REPO / "docs" / "performance.md"
 
 #: module basenames exempt from the map (re-export / dispatch shims)
 EXEMPT = {"__init__.py", "__main__.py"}
@@ -65,8 +72,35 @@ def dead_link_violations():
     return dead
 
 
+def bench_coverage_violations():
+    """BENCH_*.json sections missing from docs/performance.md."""
+    if not PERFORMANCE.exists():
+        return ["docs/performance.md: missing (benchmark contracts "
+                "are documented there)"]
+    text = PERFORMANCE.read_text()
+    missing = []
+    for bench in sorted(REPO.glob("BENCH_*.json")):
+        if bench.name not in text:
+            missing.append(
+                "docs/performance.md: does not mention {}".format(bench.name)
+            )
+        try:
+            sections = json.loads(bench.read_text())
+        except ValueError:
+            missing.append("{}: not valid JSON".format(bench.name))
+            continue
+        for key in sections:
+            if not re.search(r"\b{}\b".format(re.escape(key)), text):
+                missing.append(
+                    "docs/performance.md: {} section `{}` has no "
+                    "documented contract".format(bench.name, key)
+                )
+    return missing
+
+
 def main():
-    violations = module_map_violations() + dead_link_violations()
+    violations = (module_map_violations() + dead_link_violations()
+                  + bench_coverage_violations())
     for violation in violations:
         print(violation)
     if violations:
